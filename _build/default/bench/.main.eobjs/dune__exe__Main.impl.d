@@ -1,0 +1,1 @@
+bench/main.ml: Filename Ftes_exp Ftes_util List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Ftes_cc Ftes_core Ftes_faultsim Ftes_gen Ftes_model Ftes_sched Ftes_sfp Ftes_util Hashtbl Instance Lazy List Measure Printf Staged Test Time Toolkit

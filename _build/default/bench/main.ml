@@ -1,0 +1,159 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Fig. 6a-6d and the cruise-controller study), runs the
+   ablations documented in DESIGN.md, and finishes with Bechamel
+   micro-benchmarks of the analysis / scheduling / optimization kernels.
+
+   Environment knobs:
+     FTES_APPS       population size (default 150, the paper's)
+     FTES_SEED       root seed (default 42)
+     FTES_SKIP_MICRO set to skip the Bechamel micro-benchmarks
+     FTES_QUICK      set for a fast smoke run (40 apps, fewer trials) *)
+
+module Synthetic = Ftes_exp.Synthetic
+module Figures = Ftes_exp.Figures
+module Ablations = Ftes_exp.Ablations
+module Csv = Ftes_util.Csv
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let env_flag name = Sys.getenv_opt name <> None
+
+let quick = env_flag "FTES_QUICK"
+
+let apps = env_int "FTES_APPS" (if quick then 40 else 150)
+
+let seed = env_int "FTES_SEED" 42
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let save_csv name rows =
+  ensure_results_dir ();
+  let path = Filename.concat results_dir name in
+  Csv.write_file path rows;
+  Printf.printf "[csv] wrote %s\n%!" path
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let timed name f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Printf.printf "[time] %s: %.1fs\n%!" name (Sys.time () -. t0);
+  r
+
+let () =
+  Printf.printf
+    "FTES benchmark harness: reproduction of Izosimov, Polian, Pop, Eles, \
+     Peng,\n\
+     \"Analysis and Optimization of Fault-Tolerant Embedded Systems with\n\
+     Hardened Processors\" (DATE 2009).\n\
+     population: %d applications (paper: 150), seed %d\n%!"
+    apps seed;
+  let suite = Synthetic.create_suite ~count:apps ~seed () in
+
+  section "Fig. 6a — acceptance vs hardening performance degradation";
+  let fig6a = timed "fig6a" (fun () -> Figures.fig6a suite) in
+  print_string (Figures.render fig6a);
+  save_csv "fig6a.csv" (Figures.to_csv fig6a);
+
+  section "Fig. 6b — acceptance for ArC in {15, 20, 25}";
+  let fig6b = timed "fig6b" (fun () -> Figures.fig6b suite) in
+  List.iter
+    (fun artifact ->
+      print_string (Figures.render artifact);
+      print_newline ();
+      save_csv (artifact.Figures.id ^ ".csv") (Figures.to_csv artifact))
+    fig6b;
+
+  section "Fig. 6c — acceptance vs soft error rate (HPD = 5%)";
+  let fig6c = timed "fig6c" (fun () -> Figures.fig6c suite) in
+  print_string (Figures.render fig6c);
+  save_csv "fig6c.csv" (Figures.to_csv fig6c);
+
+  section "Fig. 6d — acceptance vs soft error rate (HPD = 100%)";
+  let fig6d = timed "fig6d" (fun () -> Figures.fig6d suite) in
+  print_string (Figures.render fig6d);
+  save_csv "fig6d.csv" (Figures.to_csv fig6d);
+
+  section "Cruise-controller case study";
+  let cc = timed "cc" (fun () -> Figures.cc_study ()) in
+  print_string (Figures.render_cc cc);
+
+  section "Ablation: recovery-slack policy";
+  let slack_count = if quick then 16 else 40 in
+  let slack =
+    timed "slack ablation" (fun () ->
+        Ablations.slack_ablation ~count:slack_count ~seed ())
+  in
+  print_string (Ablations.render_slack slack);
+
+  section "Ablation: mapping optimization";
+  let mapping =
+    timed "mapping ablation" (fun () ->
+        Ablations.mapping_ablation ~count:slack_count ~seed ())
+  in
+  print_string (Ablations.render_mapping mapping);
+
+  section "Ablation: exact SFP analysis vs closed-form bound";
+  let bound =
+    timed "bound ablation" (fun () ->
+        Ablations.bound_ablation ~count:(if quick then 10 else 30) ~seed ())
+  in
+  print_string (Ablations.render_bound bound);
+
+  section "Ablation: heuristic vs exhaustive optimum";
+  let gap =
+    timed "optimality gap" (fun () ->
+        Ablations.optimality_gap ~count:(if quick then 6 else 12) ~seed ())
+  in
+  print_string (Ablations.render_gap gap);
+
+  section "Ablation: software-redundancy policy";
+  let policy =
+    timed "retry policy" (fun () ->
+        Ablations.retry_policy_comparison ~count:slack_count ~seed ())
+  in
+  print_string (Ablations.render_policy policy);
+
+  section "Extension: checkpointed recovery";
+  let checkpoint =
+    timed "checkpoint ablation" (fun () ->
+        Ablations.checkpoint_ablation ~count:(if quick then 10 else 30) ~seed ())
+  in
+  print_string (Ablations.render_checkpoint checkpoint);
+
+  section "Exact worst case vs the schedule bounds";
+  let exact =
+    timed "exact worst case" (fun () ->
+        Ablations.exact_worst_case ~count:(if quick then 4 else 8) ~seed ())
+  in
+  print_string (Ablations.render_exact exact);
+
+  section "Runtime scaling";
+  let runtime =
+    timed "runtime study" (fun () ->
+        Ablations.runtime_study ~per_size:(if quick then 2 else 5) ~seed ())
+  in
+  print_string (Ablations.render_runtime runtime);
+
+  section "Fault-injection validation of the SFP analysis";
+  let trials = if quick then 5_000 else 20_000 in
+  let optimism =
+    timed "fault injection" (fun () ->
+        Ablations.optimism ~count:5 ~trials ~seed ())
+  in
+  print_string (Ablations.render_optimism optimism);
+
+  if env_flag "FTES_SKIP_MICRO" then
+    print_endline "\n(micro-benchmarks skipped: FTES_SKIP_MICRO set)"
+  else begin
+    section "Bechamel micro-benchmarks";
+    Micro.run ()
+  end;
+  print_endline "\nbench: done"

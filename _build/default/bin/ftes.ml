@@ -1,0 +1,323 @@
+(* ftes — command-line driver for the fault-tolerant embedded-system
+   design optimizer.
+
+     ftes optimize   run MIN/MAX/OPT on a built-in problem
+     ftes generate   generate a synthetic application
+     ftes simulate   fault-injection campaign on an optimized design
+     ftes experiment reproduce a figure/table of the paper *)
+
+open Cmdliner
+
+module Config = Ftes_core.Config
+module Design = Ftes_model.Design
+module Design_strategy = Ftes_core.Design_strategy
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Scheduler = Ftes_sched.Scheduler
+module Workload = Ftes_gen.Workload
+
+let problem_of_example = function
+  | "fig1" -> Ok (Ftes_cc.Fig_examples.fig1_problem ())
+  | "fig3" -> Ok (Ftes_cc.Fig_examples.fig3_problem ())
+  | "cc" -> Ok (Ftes_cc.Cruise_control.problem ())
+  | other -> Error (Printf.sprintf "unknown example %S (try fig1, fig3, cc)" other)
+
+(* A problem comes either from a JSON file (--file) or from a built-in
+   example (--example). *)
+let resolve_problem ~file ~example =
+  match file with
+  | Some path -> Ftes_model.Problem_io.load path
+  | None -> problem_of_example example
+
+let config_of_strategy = function
+  | "opt" -> Ok Config.default
+  | "min" -> Ok Config.min_strategy
+  | "max" -> Ok Config.max_strategy
+  | other ->
+      Error (Printf.sprintf "unknown strategy %S (try opt, min, max)" other)
+
+let example_arg =
+  let doc = "Built-in problem: $(b,fig1), $(b,fig3) or $(b,cc)." in
+  Arg.(value & opt string "fig1" & info [ "example"; "e" ] ~docv:"NAME" ~doc)
+
+let strategy_arg =
+  let doc = "Design strategy: $(b,opt), $(b,min) or $(b,max)." in
+  Arg.(value & opt string "opt" & info [ "strategy"; "s" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Root random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> Error (`Msg s)) fmt
+
+(* optimize *)
+
+let run_optimize file example strategy gantt =
+  match (resolve_problem ~file ~example, config_of_strategy strategy) with
+  | Error e, _ | _, Error e -> fail "%s" e
+  | Ok problem, Ok config -> (
+      Format.printf "%a@." Ftes_model.Problem.pp problem;
+      match Design_strategy.run ~config problem with
+      | None ->
+          Printf.printf "%s: no schedulable & reliable design found\n"
+            (Config.policy_name config.Config.hardening);
+          Ok ()
+      | Some s ->
+          let design = s.Design_strategy.result.Redundancy_opt.design in
+          Printf.printf "%s solution (explored %d architectures):\n"
+            (Config.policy_name config.Config.hardening)
+            s.Design_strategy.explored;
+          Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
+          Printf.printf "schedule length %.2f ms; reliability %.11f (goal %.6f)\n"
+            s.Design_strategy.result.Redundancy_opt.schedule_length
+            s.Design_strategy.verdict.Ftes_sfp.Sfp.reliability_per_hour
+            s.Design_strategy.verdict.Ftes_sfp.Sfp.goal;
+          if gantt then
+            print_string
+              (Ftes_sched.Schedule.to_gantt problem design
+                 s.Design_strategy.schedule);
+          Ok ())
+
+let file_arg =
+  let doc = "Load the problem from a JSON file instead of a built-in example." in
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH" ~doc)
+
+let optimize_cmd =
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print the static schedule.")
+  in
+  let term =
+    Term.(const run_optimize $ file_arg $ example_arg $ strategy_arg $ gantt)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a built-in problem with MIN/MAX/OPT")
+    Term.(term_result term)
+
+(* generate *)
+
+let run_generate seed index procs ser hpd dot =
+  if procs <= 0 then fail "process count must be positive"
+  else begin
+    let spec = Workload.generate_spec ~seed ~index ~n_processes:procs () in
+    let problem = Workload.problem_of_spec { Workload.ser; hpd } spec in
+    Format.printf "%a@." Ftes_model.Problem.pp problem;
+    Printf.printf "deadline %.2f ms, gamma %g, mu %.3f ms, %d edges\n"
+      spec.Workload.deadline_ms spec.Workload.gamma spec.Workload.mu_ms
+      (Ftes_model.Task_graph.n_edges spec.Workload.graph);
+    if dot then print_string (Ftes_model.Task_graph.to_dot spec.Workload.graph);
+    Ok ()
+  end
+
+let generate_cmd =
+  let index =
+    Arg.(value & opt int 0 & info [ "index" ] ~docv:"N" ~doc:"Application index.")
+  in
+  let procs =
+    Arg.(value & opt int 20 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let ser =
+    Arg.(value & opt float 1e-11 & info [ "ser" ] ~docv:"RATE"
+         ~doc:"Soft error rate per cycle at minimum hardening.")
+  in
+  let hpd =
+    Arg.(value & opt float 0.25 & info [ "hpd" ] ~docv:"FRAC"
+         ~doc:"Hardening performance degradation (fraction, e.g. 0.25).")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the task graph in DOT form.")
+  in
+  let term =
+    Term.(const run_generate $ seed_arg $ index $ procs $ ser $ hpd $ dot)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic application")
+    Term.(term_result term)
+
+(* simulate *)
+
+let run_simulate file example strategy trials boost seed =
+  match (resolve_problem ~file ~example, config_of_strategy strategy) with
+  | Error e, _ | _, Error e -> fail "%s" e
+  | Ok problem, Ok config -> (
+      match Design_strategy.run ~config problem with
+      | None -> fail "no feasible design to simulate"
+      | Some s ->
+          let design = s.Design_strategy.result.Redundancy_opt.design in
+          let prng = Ftes_util.Prng.create seed in
+          let campaign =
+            Ftes_faultsim.Executor.run_campaign ~boost prng problem design
+              ~trials
+          in
+          Printf.printf
+            "trials %d (boost %.0fx)\n\
+             observed system-failure rate  %.4e\n\
+             SFP-predicted rate            %.4e\n\
+             within-budget deadline misses %d\n\
+             max within-budget makespan    %.2f ms\n"
+            campaign.Ftes_faultsim.Executor.trials boost
+            campaign.Ftes_faultsim.Executor.observed_failure_rate
+            campaign.Ftes_faultsim.Executor.predicted_failure_rate
+            campaign.Ftes_faultsim.Executor.deadline_misses
+            campaign.Ftes_faultsim.Executor.max_makespan;
+          Ok ())
+
+let simulate_cmd =
+  let trials =
+    Arg.(value & opt int 50_000 & info [ "trials" ] ~docv:"N"
+         ~doc:"Monte-Carlo iterations.")
+  in
+  let boost =
+    Arg.(value & opt float 1000.0 & info [ "boost" ] ~docv:"X"
+         ~doc:"Failure-probability boost for rare-event sampling.")
+  in
+  let term =
+    Term.(
+      const run_simulate $ file_arg $ example_arg $ strategy_arg $ trials
+      $ boost $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Fault-injection campaign on an optimized design")
+    Term.(term_result term)
+
+(* experiment *)
+
+let run_experiment figure apps seed =
+  let suite = lazy (Ftes_exp.Synthetic.create_suite ~count:apps ~seed ()) in
+  let render_one artifact =
+    print_string (Ftes_exp.Figures.render artifact);
+    print_newline ()
+  in
+  match figure with
+  | "6a" -> render_one (Ftes_exp.Figures.fig6a (Lazy.force suite)); Ok ()
+  | "6b" ->
+      List.iter render_one (Ftes_exp.Figures.fig6b (Lazy.force suite));
+      Ok ()
+  | "6c" -> render_one (Ftes_exp.Figures.fig6c (Lazy.force suite)); Ok ()
+  | "6d" -> render_one (Ftes_exp.Figures.fig6d (Lazy.force suite)); Ok ()
+  | "cc" ->
+      print_string (Ftes_exp.Figures.render_cc (Ftes_exp.Figures.cc_study ()));
+      Ok ()
+  | other -> fail "unknown figure %S (try 6a, 6b, 6c, 6d, cc)" other
+
+let experiment_cmd =
+  let figure =
+    Arg.(value & opt string "6a" & info [ "figure" ] ~docv:"ID"
+         ~doc:"Paper artifact: $(b,6a), $(b,6b), $(b,6c), $(b,6d) or $(b,cc).")
+  in
+  let apps =
+    Arg.(value & opt int 150 & info [ "apps" ] ~docv:"N"
+         ~doc:"Synthetic population size.")
+  in
+  let term = Term.(const run_experiment $ figure $ apps $ seed_arg) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce a figure or table of the paper")
+    Term.(term_result term)
+
+(* worst-case *)
+
+let run_worst_case file example strategy limit =
+  match (resolve_problem ~file ~example, config_of_strategy strategy) with
+  | Error e, _ | _, Error e -> fail "%s" e
+  | Ok problem, Ok config -> (
+      match Design_strategy.run ~config problem with
+      | None -> fail "no feasible design to analyze"
+      | Some s -> (
+          let design = s.Design_strategy.result.Redundancy_opt.design in
+          let space = Ftes_faultsim.Scenarios.count_scenarios design in
+          if space > float_of_int limit then
+            fail "%.3g fault scenarios exceed --limit %d" space limit
+          else begin
+            let r = Ftes_faultsim.Scenarios.worst_case ~limit problem design in
+            Printf.printf
+              "scenarios replayed          %d\n\
+               shared bound (paper's SL)   %.2f ms\n\
+               exact worst case            %.2f ms\n\
+               conservative bound          %.2f ms\n\
+               shared bound optimistic?    %s\n"
+              r.Ftes_faultsim.Scenarios.scenarios
+              r.Ftes_faultsim.Scenarios.shared_bound_ms
+              r.Ftes_faultsim.Scenarios.exact_worst_ms
+              r.Ftes_faultsim.Scenarios.conservative_bound_ms
+              (if Ftes_faultsim.Scenarios.optimism_certificate r then "yes"
+               else "no");
+            Ok ()
+          end))
+
+let worst_case_cmd =
+  let limit =
+    Arg.(value & opt int 200_000 & info [ "limit" ] ~docv:"N"
+         ~doc:"Maximum number of fault scenarios to replay.")
+  in
+  let term =
+    Term.(const run_worst_case $ file_arg $ example_arg $ strategy_arg $ limit)
+  in
+  Cmd.v
+    (Cmd.info "worst-case"
+       ~doc:"Exact worst-case analysis by exhaustive fault-scenario replay")
+    Term.(term_result term)
+
+(* checkpoint *)
+
+let run_checkpoint file example strategy save_ms =
+  match (resolve_problem ~file ~example, config_of_strategy strategy) with
+  | Error e, _ | _, Error e -> fail "%s" e
+  | Ok problem, Ok config -> (
+      match Design_strategy.run ~config problem with
+      | None -> fail "no feasible design to checkpoint"
+      | Some s ->
+          let design = s.Design_strategy.result.Redundancy_opt.design in
+          let plain = s.Design_strategy.result.Redundancy_opt.schedule_length in
+          let kappa, ckpt =
+            Ftes_core.Checkpoint_opt.optimize ?save_ms problem design
+          in
+          Printf.printf
+            "plain re-execution SL      %.2f ms\n\
+             checkpointed SL            %.2f ms (%.1f%% shorter)\n\
+             checkpoints per process    [%s]\n"
+            plain ckpt
+            (100.0 *. (plain -. ckpt) /. plain)
+            (String.concat ";" (Array.to_list (Array.map string_of_int kappa)));
+          Ok ())
+
+let checkpoint_cmd =
+  let save_ms =
+    Arg.(value & opt (some float) None & info [ "save" ] ~docv:"MS"
+         ~doc:"Checkpoint save cost in ms (default: half the recovery \
+               overhead).")
+  in
+  let term =
+    Term.(const run_checkpoint $ file_arg $ example_arg $ strategy_arg $ save_ms)
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Optimize checkpoint counts on top of an optimized design")
+    Term.(term_result term)
+
+(* export *)
+
+let run_export example output =
+  match problem_of_example example with
+  | Error e -> fail "%s" e
+  | Ok problem ->
+      Ftes_model.Problem_io.save output problem;
+      Printf.printf "wrote %s\n" output;
+      Ok ()
+
+let export_cmd =
+  let output =
+    Arg.(value & opt string "problem.json" & info [ "output"; "o" ] ~docv:"PATH"
+         ~doc:"Destination file.")
+  in
+  let term = Term.(const run_export $ example_arg $ output) in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a built-in problem instance as JSON")
+    Term.(term_result term)
+
+let () =
+  let doc =
+    "design optimization of fault-tolerant embedded systems with hardened \
+     processors (DATE 2009 reproduction)"
+  in
+  let info = Cmd.info "ftes" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ optimize_cmd; generate_cmd; simulate_cmd; experiment_cmd; export_cmd;
+         worst_case_cmd; checkpoint_cmd ]))

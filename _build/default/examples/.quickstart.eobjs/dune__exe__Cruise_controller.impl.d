@@ -1,0 +1,1 @@
+examples/cruise_controller.ml: Array Format Ftes_cc Ftes_core Ftes_exp Ftes_faultsim Ftes_model Ftes_sched Ftes_util List Printf String

@@ -1,0 +1,1 @@
+examples/cruise_controller.mli:

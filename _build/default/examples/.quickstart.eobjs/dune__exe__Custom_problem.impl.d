@@ -1,0 +1,1 @@
+examples/custom_problem.ml: Array Filename Format Ftes_core Ftes_gen Ftes_model Fun List Printf String Sys

@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Format Ftes_core Ftes_gen Ftes_model Ftes_sched Ftes_util Printf

@@ -1,0 +1,1 @@
+examples/motivational.ml: Array Format Ftes_cc Ftes_core Ftes_faultsim Ftes_model Ftes_sched Ftes_sfp Ftes_util List Printf

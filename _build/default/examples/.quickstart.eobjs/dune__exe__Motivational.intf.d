@@ -1,0 +1,1 @@
+examples/motivational.mli:

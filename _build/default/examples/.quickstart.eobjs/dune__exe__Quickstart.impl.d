@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Ftes_core Ftes_faultsim Ftes_model Ftes_sched Ftes_sfp Ftes_util Printf

@@ -1,0 +1,65 @@
+(* The paper's real-life case study in detail: the 32-process vehicle
+   cruise controller on {ETM, ABS, TCM}.
+
+   Compares the MIN / MAX / OPT strategies, shows the optimized design
+   and its static schedule, and validates the chosen design by
+   fault-injection simulation.
+
+   Run with:  dune exec examples/cruise_controller.exe *)
+
+module Config = Ftes_core.Config
+module Design = Ftes_model.Design
+module Scheduler = Ftes_sched.Scheduler
+module Executor = Ftes_faultsim.Executor
+
+let () =
+  let problem = Ftes_cc.Cruise_control.problem () in
+  Format.printf "%a@.@." Ftes_model.Problem.pp problem;
+
+  print_endline (Ftes_exp.Figures.render_cc (Ftes_exp.Figures.cc_study ()));
+
+  match Ftes_core.Design_strategy.run ~config:Config.default problem with
+  | None -> print_endline "OPT found no feasible design (unexpected)"
+  | Some s ->
+      let design = s.result.Ftes_core.Redundancy_opt.design in
+      print_endline "The OPT design in detail:";
+      Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
+      Array.iteri
+        (fun slot j ->
+          let nt = Ftes_model.Problem.node problem j in
+          let procs = Design.procs_on design ~member:slot in
+          Printf.printf "  %s (h=%d, k=%d): %s\n"
+            nt.Ftes_model.Platform.node_name design.Design.levels.(slot)
+            design.Design.reexecs.(slot)
+            (String.concat ", "
+               (List.map
+                  (Ftes_model.Application.process_name
+                     problem.Ftes_model.Problem.app)
+                  procs)))
+        design.Design.members;
+      print_newline ();
+      print_string
+        (Ftes_sched.Schedule.to_gantt problem design
+           (Scheduler.schedule problem design));
+
+      (* Fault-injection validation: boost the (tiny) failure
+         probabilities so that re-executions actually happen, and check
+         that the budget-exceedance rate matches the SFP prediction. *)
+      let prng = Ftes_util.Prng.create 7 in
+      let campaign =
+        Executor.run_campaign ~boost:3_000.0 prng problem design
+          ~trials:50_000
+      in
+      Printf.printf
+        "\nfault injection (boost 3000x, %d runs):\n\
+        \  observed system-failure rate  %.3e\n\
+        \  SFP-predicted rate            %.3e\n\
+        \  within-budget deadline misses %d\n"
+        campaign.Executor.trials campaign.Executor.observed_failure_rate
+        campaign.Executor.predicted_failure_rate
+        campaign.Executor.deadline_misses;
+      print_endline
+        "(the deadline misses occur only because the 3000x boost makes\n\
+         cross-node fault cascades — which the paper's shared-slack bound\n\
+         does not charge — a common event instead of a ~1e-9 one; see the\n\
+         exact worst-case analysis in the benchmark harness)"

@@ -1,0 +1,96 @@
+(* Quickstart: model a small fault-tolerant application, let the design
+   strategy pick the architecture, hardening levels, re-execution counts
+   and mapping, and inspect the result.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Task_graph = Ftes_model.Task_graph
+module Application = Ftes_model.Application
+module Platform = Ftes_model.Platform
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Scheduler = Ftes_sched.Scheduler
+module Sfp = Ftes_sfp.Sfp
+
+let () =
+  (* 1. The application: four processes in a diamond, 360 ms deadline,
+     a reliability goal of 1 - 1e-5 per hour, 15 ms recovery overhead.
+     This is exactly Fig. 1 of the paper. *)
+  let graph =
+    Task_graph.make ~n:4
+      [ { Task_graph.src = 0; dst = 1; transmission_ms = 10.0 };
+        { Task_graph.src = 0; dst = 2; transmission_ms = 10.0 };
+        { Task_graph.src = 1; dst = 3; transmission_ms = 10.0 };
+        { Task_graph.src = 2; dst = 3; transmission_ms = 10.0 } ]
+  in
+  let app =
+    Application.make ~name:"quickstart" ~graph ~deadline_ms:360.0 ~gamma:1e-5
+      ~recovery_overhead_ms:15.0 ()
+  in
+
+  (* 2. The platform: nodes in several hardened versions.  Each version
+     gives, per process, the WCET and the failure probability of one
+     execution, plus the version's cost. *)
+  let node name costs wcets pfails =
+    Platform.node_type ~name
+      ~versions:
+        (Array.init (Array.length costs) (fun i ->
+             Platform.hversion ~level:(i + 1) ~cost:costs.(i)
+               ~wcet_ms:wcets.(i) ~pfail:pfails.(i)))
+  in
+  let n1 =
+    node "N1"
+      [| 16.0; 32.0; 64.0 |]
+      [| [| 60.; 75.; 60.; 75. |];
+         [| 75.; 90.; 75.; 90. |];
+         [| 90.; 105.; 90.; 105. |] |]
+      [| [| 1.2e-3; 1.3e-3; 1.4e-3; 1.6e-3 |];
+         [| 1.2e-5; 1.3e-5; 1.4e-5; 1.6e-5 |];
+         [| 1.2e-10; 1.3e-10; 1.4e-10; 1.6e-10 |] |]
+  in
+  let n2 =
+    node "N2"
+      [| 20.0; 40.0; 80.0 |]
+      [| [| 50.; 65.; 50.; 65. |];
+         [| 60.; 75.; 60.; 75. |];
+         [| 75.; 90.; 75.; 90. |] |]
+      [| [| 1e-3; 1.2e-3; 1.2e-3; 1.3e-3 |];
+         [| 1e-5; 1.2e-5; 1.2e-5; 1.3e-5 |];
+         [| 1e-10; 1.2e-10; 1.2e-10; 1.3e-10 |] |]
+  in
+  let problem = Problem.make ~app ~library:[| n1; n2 |] in
+  Format.printf "problem: %a@." Problem.pp problem;
+
+  (* 3. Optimize: architecture selection + hardening + re-executions +
+     mapping, minimizing the total cost under the deadline and the
+     reliability goal. *)
+  match Ftes_core.Design_strategy.run ~config:Ftes_core.Config.default problem with
+  | None -> print_endline "no feasible design"
+  | Some solution ->
+      let design = solution.result.Ftes_core.Redundancy_opt.design in
+      Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
+      Printf.printf "worst-case schedule length: %.1f ms (deadline %.1f ms)\n"
+        solution.result.Ftes_core.Redundancy_opt.schedule_length 360.0;
+      let v = solution.verdict in
+      Printf.printf "reliability: %.11f per hour (goal %.5f) -> %s\n"
+        v.Sfp.reliability_per_hour v.Sfp.goal
+        (if v.Sfp.meets_goal then "met" else "violated");
+
+      (* 4. Look at the static schedule. *)
+      let schedule = Scheduler.schedule problem design in
+      print_newline ();
+      print_string (Ftes_sched.Schedule.to_gantt problem design schedule);
+
+      (* 5. Validate the analysis by injecting faults (probabilities
+         boosted so failures are observable in 50k runs). *)
+      let prng = Ftes_util.Prng.create 2025 in
+      let campaign =
+        Ftes_faultsim.Executor.run_campaign ~boost:100.0 prng problem design
+          ~trials:50_000
+      in
+      Printf.printf
+        "\nfault injection (100x boost, %d runs): observed failure rate %.2e, \
+         SFP predicts %.2e\n"
+        campaign.Ftes_faultsim.Executor.trials
+        campaign.Ftes_faultsim.Executor.observed_failure_rate
+        campaign.Ftes_faultsim.Executor.predicted_failure_rate

@@ -1,0 +1,1 @@
+lib/cc/cruise_control.ml: Array Ftes_faultsim Ftes_model Hashtbl List

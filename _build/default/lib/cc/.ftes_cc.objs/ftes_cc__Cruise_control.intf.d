@@ -1,0 +1,1 @@
+lib/cc/cruise_control.mli: Ftes_model

@@ -1,0 +1,1 @@
+lib/cc/fig_examples.ml: Ftes_model

@@ -1,0 +1,1 @@
+lib/cc/fig_examples.mli: Ftes_model

@@ -1,0 +1,89 @@
+module Task_graph = Ftes_model.Task_graph
+module Application = Ftes_model.Application
+module Platform = Ftes_model.Platform
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+
+let transmission_ms = 10.0
+
+let fig1_graph () =
+  Task_graph.make ~n:4
+    [ { Task_graph.src = 0; dst = 1; transmission_ms } (* m1: P1 -> P2 *);
+      { Task_graph.src = 0; dst = 2; transmission_ms } (* m2: P1 -> P3 *);
+      { Task_graph.src = 1; dst = 3; transmission_ms } (* m3: P2 -> P4 *);
+      { Task_graph.src = 2; dst = 3; transmission_ms } (* m4: P3 -> P4 *) ]
+
+let fig1_problem () =
+  let app =
+    Application.make ~name:"fig1" ~graph:(fig1_graph ()) ~deadline_ms:360.0
+      ~gamma:1e-5 ~recovery_overhead_ms:15.0 ()
+  in
+  (* Fig. 1 tables: per h-version, WCET (ms) and failure probability of
+     P1..P4, with the doubling costs printed in the figure. *)
+  let n1 =
+    Platform.node_type ~name:"N1"
+      ~versions:
+        [| Platform.hversion ~level:1 ~cost:16.0
+             ~wcet_ms:[| 60.0; 75.0; 60.0; 75.0 |]
+             ~pfail:[| 1.2e-3; 1.3e-3; 1.4e-3; 1.6e-3 |];
+           Platform.hversion ~level:2 ~cost:32.0
+             ~wcet_ms:[| 75.0; 90.0; 75.0; 90.0 |]
+             ~pfail:[| 1.2e-5; 1.3e-5; 1.4e-5; 1.6e-5 |];
+           Platform.hversion ~level:3 ~cost:64.0
+             ~wcet_ms:[| 90.0; 105.0; 90.0; 105.0 |]
+             ~pfail:[| 1.2e-10; 1.3e-10; 1.4e-10; 1.6e-10 |] |]
+  in
+  let n2 =
+    Platform.node_type ~name:"N2"
+      ~versions:
+        [| Platform.hversion ~level:1 ~cost:20.0
+             ~wcet_ms:[| 50.0; 65.0; 50.0; 65.0 |]
+             ~pfail:[| 1e-3; 1.2e-3; 1.2e-3; 1.3e-3 |];
+           Platform.hversion ~level:2 ~cost:40.0
+             ~wcet_ms:[| 60.0; 75.0; 60.0; 75.0 |]
+             ~pfail:[| 1e-5; 1.2e-5; 1.2e-5; 1.3e-5 |];
+           Platform.hversion ~level:3 ~cost:80.0
+             ~wcet_ms:[| 75.0; 90.0; 75.0; 90.0 |]
+             ~pfail:[| 1e-10; 1.2e-10; 1.2e-10; 1.3e-10 |] |]
+  in
+  Problem.make ~app ~library:[| n1; n2 |]
+
+let fig3_problem () =
+  let graph = Task_graph.make ~n:1 [] in
+  let app =
+    Application.make ~name:"fig3" ~graph ~deadline_ms:360.0 ~gamma:1e-5
+      ~recovery_overhead_ms:20.0 ()
+  in
+  let n1 =
+    Platform.node_type ~name:"N1"
+      ~versions:
+        [| Platform.hversion ~level:1 ~cost:10.0 ~wcet_ms:[| 80.0 |]
+             ~pfail:[| 4e-2 |];
+           Platform.hversion ~level:2 ~cost:20.0 ~wcet_ms:[| 100.0 |]
+             ~pfail:[| 4e-4 |];
+           Platform.hversion ~level:3 ~cost:40.0 ~wcet_ms:[| 160.0 |]
+             ~pfail:[| 4e-6 |] |]
+  in
+  Problem.make ~app ~library:[| n1 |]
+
+(* Library indices in [fig1_problem]: N1 = 0, N2 = 1. *)
+
+let fig4a problem =
+  Design.make problem ~members:[| 0; 1 |] ~levels:[| 2; 2 |]
+    ~reexecs:[| 1; 1 |] ~mapping:[| 0; 0; 1; 1 |]
+
+let fig4b problem =
+  Design.make problem ~members:[| 0 |] ~levels:[| 2 |] ~reexecs:[| 2 |]
+    ~mapping:[| 0; 0; 0; 0 |]
+
+let fig4c problem =
+  Design.make problem ~members:[| 1 |] ~levels:[| 2 |] ~reexecs:[| 2 |]
+    ~mapping:[| 0; 0; 0; 0 |]
+
+let fig4d problem =
+  Design.make problem ~members:[| 0 |] ~levels:[| 3 |] ~reexecs:[| 0 |]
+    ~mapping:[| 0; 0; 0; 0 |]
+
+let fig4e problem =
+  Design.make problem ~members:[| 1 |] ~levels:[| 3 |] ~reexecs:[| 0 |]
+    ~mapping:[| 0; 0; 0; 0 |]

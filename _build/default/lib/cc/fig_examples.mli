@@ -1,0 +1,39 @@
+(** The paper's motivational examples, with their exact tables.
+
+    {!fig1_problem} is the four-process application of Fig. 1 (deadline
+    360 ms, rho = 1 - 1e-5 per hour, mu = 15 ms) with nodes N1 and N2 in
+    three h-versions each; {!fig3_problem} is the single-process example
+    of Fig. 3 (mu = 20 ms).  The [fig4_*] designs are the five
+    architecture alternatives of Fig. 4; the test-suite asserts the
+    paper's verdicts on them (4a schedulable at cost 72, 4b/4c/4d
+    unschedulable, 4e schedulable at cost 80). *)
+
+val fig1_problem : unit -> Ftes_model.Problem.t
+(** Application of Fig. 1: P1 -> {P2, P3} -> P4 (a diamond), on a
+    library [N1; N2].  Message transmission times are not printed in the
+    paper; 10 ms reproduces its Gantt charts. *)
+
+val fig3_problem : unit -> Ftes_model.Problem.t
+(** One process P1 on one node N1 with h-versions
+    (t, p, C) = (80 ms, 4e-2, 10), (100 ms, 4e-4, 20),
+    (160 ms, 4e-6, 40). *)
+
+(** The five alternatives of Fig. 4.  Each takes the problem returned by
+    {!fig1_problem}.  Hardening levels and mappings are the figure's;
+    re-execution counts are the ones derived by the SFP analysis (k = 1
+    on each node in 4a, k = 2 in 4b/4c, k = 0 in 4d/4e). *)
+
+val fig4a : Ftes_model.Problem.t -> Ftes_model.Design.t
+(** N1 h2 {P1, P2} + N2 h2 {P3, P4}, cost 72. *)
+
+val fig4b : Ftes_model.Problem.t -> Ftes_model.Design.t
+(** N1 h2 alone, cost 32. *)
+
+val fig4c : Ftes_model.Problem.t -> Ftes_model.Design.t
+(** N2 h2 alone, cost 40. *)
+
+val fig4d : Ftes_model.Problem.t -> Ftes_model.Design.t
+(** N1 h3 alone, cost 64. *)
+
+val fig4e : Ftes_model.Problem.t -> Ftes_model.Design.t
+(** N2 h3 alone, cost 80. *)

@@ -1,0 +1,1 @@
+lib/core/checkpoint_opt.ml: Array Ftes_model Ftes_sched Option

@@ -1,0 +1,1 @@
+lib/core/checkpoint_opt.mli: Ftes_model

@@ -1,0 +1,1 @@
+lib/core/design_strategy.ml: Array Config Ftes_model Ftes_sched Ftes_sfp List Mapping_opt Option Redundancy_opt

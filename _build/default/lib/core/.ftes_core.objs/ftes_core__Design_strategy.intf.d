@@ -1,0 +1,1 @@
+lib/core/design_strategy.mli: Config Ftes_model Ftes_sched Ftes_sfp Redundancy_opt

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Config Float Ftes_model Ftes_sched List Printf Re_execution_opt Redundancy_opt

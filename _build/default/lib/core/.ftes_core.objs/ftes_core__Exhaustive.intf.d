@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Config Ftes_model Redundancy_opt

@@ -1,0 +1,1 @@
+lib/core/mapping_opt.ml: Array Config Float Ftes_model Fun List Redundancy_opt

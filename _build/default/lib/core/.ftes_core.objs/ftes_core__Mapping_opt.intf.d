@@ -1,0 +1,1 @@
+lib/core/mapping_opt.mli: Config Ftes_model Redundancy_opt

@@ -1,0 +1,1 @@
+lib/core/re_execution_opt.ml: Array Ftes_model Ftes_sfp Option

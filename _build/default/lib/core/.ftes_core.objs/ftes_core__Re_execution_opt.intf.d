@@ -1,0 +1,1 @@
+lib/core/re_execution_opt.mli: Ftes_model

@@ -1,0 +1,1 @@
+lib/core/redundancy_opt.ml: Array Config Float Ftes_model Ftes_sched Re_execution_opt

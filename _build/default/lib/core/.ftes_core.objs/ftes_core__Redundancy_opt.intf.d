@@ -1,0 +1,1 @@
+lib/core/redundancy_opt.mli: Config Ftes_model

@@ -1,0 +1,1 @@
+lib/core/retry_opt.ml: Array Ftes_model Ftes_sched Ftes_sfp List

@@ -1,0 +1,1 @@
+lib/core/retry_opt.mli: Ftes_model

@@ -1,0 +1,30 @@
+type hardening_policy = Optimize | Fixed_min | Fixed_max
+
+type t = {
+  tabu_tenure : int;
+  waiting_boost : int;
+  max_stall : int;
+  max_iterations : int;
+  move_candidates : int;
+  kmax : int;
+  slack : Ftes_sched.Scheduler.slack_mode;
+  hardening : hardening_policy;
+}
+
+let default =
+  { tabu_tenure = 3;
+    waiting_boost = 12;
+    max_stall = 10;
+    max_iterations = 120;
+    move_candidates = 5;
+    kmax = 12;
+    slack = Ftes_sched.Scheduler.Shared;
+    hardening = Optimize }
+
+let min_strategy = { default with hardening = Fixed_min }
+let max_strategy = { default with hardening = Fixed_max }
+
+let policy_name = function
+  | Optimize -> "OPT"
+  | Fixed_min -> "MIN"
+  | Fixed_max -> "MAX"

@@ -1,0 +1,41 @@
+(** Tuning knobs of the design-optimization heuristics (Section 6).
+
+    The paper reports runtimes of 3-60 minutes on a 2004-era Pentium 4;
+    the defaults here are sized so that a full 150-application
+    experiment cell finishes in seconds while preserving the search
+    structure (tabu mapping moves on the critical path, greedy hardening
+    escalation, greedy re-execution assignment). *)
+
+type hardening_policy =
+  | Optimize  (** the paper's OPT: trade hardening against re-execution. *)
+  | Fixed_min  (** the MIN baseline: minimum hardening everywhere. *)
+  | Fixed_max  (** the MAX baseline: maximum hardening everywhere. *)
+
+type t = {
+  tabu_tenure : int;
+      (** iterations a re-mapped process stays tabu (Section 6.2). *)
+  waiting_boost : int;
+      (** iterations after which a never-moved process gets priority. *)
+  max_stall : int;
+      (** stop the tabu search after this many non-improving moves. *)
+  max_iterations : int;  (** hard cap on tabu iterations. *)
+  move_candidates : int;
+      (** how many critical-path processes are considered for re-mapping
+          at each tabu iteration. *)
+  kmax : int;  (** per-node re-execution bound explored by the SFP search. *)
+  slack : Ftes_sched.Scheduler.slack_mode;
+  hardening : hardening_policy;
+}
+
+val default : t
+(** [Optimize] policy, shared slack, tenure 3, stall 10, kmax 12. *)
+
+val min_strategy : t
+(** {!default} with [Fixed_min]. *)
+
+val max_strategy : t
+(** {!default} with [Fixed_max]. *)
+
+val policy_name : hardening_policy -> string
+(** ["OPT"], ["MIN"] or ["MAX"] — the labels used in the paper's
+    Fig. 6. *)

@@ -1,0 +1,109 @@
+module Problem = Ftes_model.Problem
+module Platform = Ftes_model.Platform
+module Design = Ftes_model.Design
+module Sfp = Ftes_sfp.Sfp
+module Scheduler = Ftes_sched.Scheduler
+
+type solution = {
+  result : Redundancy_opt.result;
+  verdict : Sfp.verdict;
+  schedule : Ftes_sched.Schedule.t;
+  explored : int;
+}
+
+let subset_speed problem members =
+  Array.fold_left
+    (fun acc j -> acc +. Platform.mean_wcet (Problem.node problem j) ~level:1)
+    0.0 members
+
+let architectures_by_speed problem ~n =
+  let lib = Problem.n_library problem in
+  if n < 1 || n > lib then []
+  else begin
+    (* Enumerate size-n subsets as sorted index arrays. *)
+    let rec subsets start need =
+      if need = 0 then [ [] ]
+      else if start >= lib then []
+      else begin
+        let with_start =
+          List.map (fun rest -> start :: rest) (subsets (start + 1) (need - 1))
+        in
+        with_start @ subsets (start + 1) need
+      end
+    in
+    subsets 0 n
+    |> List.map Array.of_list
+    |> List.sort (fun a b ->
+           compare (subset_speed problem a, a) (subset_speed problem b, b))
+  end
+
+let min_hardening_cost problem members =
+  Array.fold_left
+    (fun acc j -> acc +. Problem.min_cost problem ~node:j)
+    0.0 members
+
+let run ~config problem =
+  let lib = Problem.n_library problem in
+  let explored = ref 0 in
+  let best = ref None in
+  let best_cost = ref infinity in
+  let evaluate_architecture members =
+    incr explored;
+    match
+      Mapping_opt.run ~config ~objective:Mapping_opt.Schedule_length problem
+        ~members
+    with
+    | None -> `Unschedulable
+    | Some sl_result ->
+        let refined =
+          Mapping_opt.run ~config ~objective:Mapping_opt.Architecture_cost
+            ~initial:sl_result.Redundancy_opt.design.Design.mapping problem
+            ~members
+        in
+        let result =
+          match refined with
+          | Some r when r.Redundancy_opt.cost <= sl_result.Redundancy_opt.cost ->
+              r
+          | Some _ | None -> sl_result
+        in
+        `Schedulable result
+  in
+  (* Walk architectures: same size fastest-first; an unschedulable
+     architecture jumps the walk to the next size (Fig. 5, line 15). *)
+  let rec walk n queue =
+    if n > lib then ()
+    else begin
+      match queue with
+      | [] -> walk (n + 1) (architectures_by_speed problem ~n:(n + 1))
+      | members :: rest ->
+          if min_hardening_cost problem members >= !best_cost then
+            walk n rest (* line 6: cannot beat the best-so-far cost *)
+          else begin
+            match evaluate_architecture members with
+            | `Unschedulable ->
+                walk (n + 1) (architectures_by_speed problem ~n:(n + 1))
+            | `Schedulable result ->
+                if result.Redundancy_opt.cost < !best_cost then begin
+                  best_cost := result.Redundancy_opt.cost;
+                  best := Some result
+                end;
+                walk n rest
+          end
+    end
+  in
+  walk 1 (architectures_by_speed problem ~n:1);
+  Option.map
+    (fun (result : Redundancy_opt.result) ->
+      let design = result.Redundancy_opt.design in
+      { result;
+        verdict = Sfp.evaluate problem design;
+        schedule = Scheduler.schedule ~slack:config.Config.slack problem design;
+        explored = !explored })
+    !best
+
+let accepted ?max_cost = function
+  | None -> false
+  | Some solution -> (
+      match max_cost with
+      | None -> true
+      | Some bound -> solution.result.Redundancy_opt.cost <= bound +. 1e-9)

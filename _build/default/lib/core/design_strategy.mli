@@ -1,0 +1,35 @@
+(** DesignStrategy (Fig. 5): architecture selection loop.
+
+    Explores architectures from one node upwards, fastest first.  For
+    each candidate architecture whose minimum-hardening cost can still
+    beat the best-so-far cost, the mapping is optimized for schedule
+    length; if the application fits its deadline, the mapping is then
+    re-optimized for architecture cost and the solution is recorded.
+    Whenever an architecture is unschedulable, the search moves directly
+    to architectures with one more node, as in the paper's pseudocode.
+
+    The same driver implements the paper's baselines: with
+    [config.hardening = Fixed_min] it is the MIN strategy (software
+    fault tolerance only) and with [Fixed_max] the MAX strategy. *)
+
+type solution = {
+  result : Redundancy_opt.result;
+  verdict : Ftes_sfp.Sfp.verdict;
+  schedule : Ftes_sched.Schedule.t;
+  explored : int;  (** number of architectures evaluated. *)
+}
+
+val architectures_by_speed : Ftes_model.Problem.t -> n:int -> int array list
+(** All size-[n] subsets of the node library, ordered fastest first
+    (ascending sum of the nodes' mean minimum-hardening WCETs) —
+    [SelectArch] / [SelectNextArch] of Fig. 5. *)
+
+val run : config:Config.t -> Ftes_model.Problem.t -> solution option
+(** The full strategy.  Returns the cheapest solution that meets both
+    the deadline and the reliability goal, or [None] when no explored
+    architecture admits one. *)
+
+val accepted : ?max_cost:float -> solution option -> bool
+(** The acceptance criterion of the experimental evaluation: a solution
+    exists and its architecture cost does not exceed the bound (default:
+    no bound). *)

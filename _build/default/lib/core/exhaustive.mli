@@ -1,0 +1,26 @@
+(** Exact reference search, for measuring the heuristics' optimality gap.
+
+    Enumerates {e every} candidate design of small instances: all
+    architectures (non-empty subsets of the node library), all hardening
+    vectors, and all mappings of the processes onto the selected nodes.
+    Re-execution counts follow the same policy as the heuristics (the
+    greedy SFP assignment of {!Re_execution_opt}), so the comparison
+    isolates the architecture / hardening / mapping decisions that the
+    paper's heuristics approximate.
+
+    The search is exponential (sum over subsets of levels^n * n^procs);
+    callers must stay within the candidate [limit].  The ablation
+    harness uses 6-8 process instances on 2-node libraries. *)
+
+val search_space : Ftes_model.Problem.t -> float
+(** Approximate number of (architecture, levels, mapping) candidates. *)
+
+val run :
+  ?limit:int ->
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  Redundancy_opt.result option
+(** The cost-minimal feasible design, or [None] when no candidate is
+    both schedulable and reliable.  Ties on cost are broken towards the
+    shorter schedule.  Raises [Invalid_argument] when {!search_space}
+    exceeds [limit] (default 2_000_000). *)

@@ -1,0 +1,139 @@
+module Design = Ftes_model.Design
+module Problem = Ftes_model.Problem
+module Scheduler = Ftes_sched.Scheduler
+
+type result = {
+  design : Design.t;
+  schedule_length : float;
+  cost : float;
+}
+
+let deadline problem =
+  problem.Problem.app.Ftes_model.Application.deadline_ms
+
+let evaluate config problem design levels =
+  let d = Design.with_levels design levels in
+  match Re_execution_opt.optimize ~kmax:config.Config.kmax problem d with
+  | None -> None
+  | Some d ->
+      let schedule_length =
+        Scheduler.schedule_length ~slack:config.Config.slack problem d
+      in
+      Some { design = d; schedule_length; cost = Design.cost problem d }
+
+let min_levels design = Array.map (fun _ -> 1) design.Design.members
+
+let max_levels problem design =
+  Array.map (fun j -> Problem.levels problem j) design.Design.members
+
+(* Escalation: raise one level at a time, always the increment that
+   shortens the schedule the most, until schedulable or saturated.
+   Returns the first schedulable result (if any) and the best schedule
+   length seen anywhere along the way. *)
+let escalate config problem design =
+  let d = deadline problem in
+  let rec climb levels best_len =
+    let here = evaluate config problem design levels in
+    let best_len =
+      match here with
+      | Some r -> Float.min best_len r.schedule_length
+      | None -> best_len
+    in
+    match here with
+    | Some r when r.schedule_length <= d +. 1e-9 -> (Some r, best_len)
+    | Some _ | None ->
+        let members = Array.length levels in
+        let best = ref None in
+        for j = 0 to members - 1 do
+          if levels.(j) < Problem.levels problem design.Design.members.(j)
+          then begin
+            let candidate = Array.copy levels in
+            candidate.(j) <- candidate.(j) + 1;
+            let len =
+              match evaluate config problem design candidate with
+              | Some r -> r.schedule_length
+              | None -> infinity
+            in
+            match !best with
+            | Some (_, bl) when bl <= len -> ()
+            | Some _ | None -> best := Some (candidate, len)
+          end
+        done;
+        (match !best with
+        | None -> (None, best_len) (* every node already fully hardened *)
+        | Some (candidate, _) -> climb candidate best_len)
+  in
+  climb (min_levels design) infinity
+
+(* Reduction: keep taking the cheapest schedulable single-level
+   decrease. *)
+let reduce config problem design (current : result) =
+  let d = deadline problem in
+  let rec descend (current : result) =
+    let levels = current.design.Design.levels in
+    let members = Array.length levels in
+    let best = ref None in
+    for j = 0 to members - 1 do
+      if levels.(j) > 1 then begin
+        let candidate = Array.copy levels in
+        candidate.(j) <- candidate.(j) - 1;
+        match evaluate config problem design candidate with
+        | Some r when r.schedule_length <= d +. 1e-9 -> (
+            match !best with
+            | Some (br : result) when br.cost <= r.cost -> ()
+            | Some _ | None -> best := Some r)
+        | Some _ | None -> ()
+      end
+    done;
+    match !best with
+    | Some r when r.cost < current.cost -> descend r
+    | Some _ | None -> current
+  in
+  descend current
+
+let fixed_levels config problem design levels =
+  let d = deadline problem in
+  match evaluate config problem design levels with
+  | Some r when r.schedule_length <= d +. 1e-9 -> Some r
+  | Some _ | None -> None
+
+let run ~config problem design =
+  match config.Config.hardening with
+  | Config.Fixed_min -> fixed_levels config problem design (min_levels design)
+  | Config.Fixed_max ->
+      fixed_levels config problem design (max_levels problem design)
+  | Config.Optimize -> (
+      match escalate config problem design with
+      | Some r, _ -> Some (reduce config problem design r)
+      | None, _ -> None)
+
+let probe_fixed config problem design levels =
+  match evaluate config problem design levels with
+  | Some r ->
+      let ok = r.schedule_length <= deadline problem +. 1e-9 in
+      ((if ok then Some r else None), r.schedule_length)
+  | None -> (None, infinity)
+
+let probe ~config problem design =
+  match config.Config.hardening with
+  | Config.Fixed_min -> probe_fixed config problem design (min_levels design)
+  | Config.Fixed_max ->
+      probe_fixed config problem design (max_levels problem design)
+  | Config.Optimize -> (
+      match escalate config problem design with
+      | Some r, best_len -> (Some (reduce config problem design r), best_len)
+      | None, best_len -> (None, best_len))
+
+let best_effort_length ~config problem design =
+  match config.Config.hardening with
+  | Config.Fixed_min -> (
+      match evaluate config problem design (min_levels design) with
+      | Some r -> r.schedule_length
+      | None -> infinity)
+  | Config.Fixed_max -> (
+      match evaluate config problem design (max_levels problem design) with
+      | Some r -> r.schedule_length
+      | None -> infinity)
+  | Config.Optimize ->
+      let _, best_len = escalate config problem design in
+      best_len

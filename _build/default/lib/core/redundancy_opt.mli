@@ -1,0 +1,51 @@
+(** RedundancyOpt (Section 6.3): hardening / re-execution trade-off.
+
+    For a fixed architecture and mapping, decide the hardening level of
+    every node together with the re-execution counts returned by
+    {!Re_execution_opt}:
+
+    + start from the minimum hardening levels;
+    + {e escalation}: while the application is unschedulable (or the
+      reliability goal is unreachable), greedily raise by one the
+      hardening level whose increase shortens the worst-case schedule
+      the most;
+    + {e reduction}: once schedulable, repeatedly try lowering each
+      node by one level; among the still-schedulable alternatives keep
+      the cheapest, and stop when no reduction is schedulable.
+
+    Under the [Fixed_min] / [Fixed_max] baseline policies the level
+    search is skipped and only the re-execution assignment and the
+    schedulability test are performed. *)
+
+type result = {
+  design : Ftes_model.Design.t;  (** levels and reexecs filled in. *)
+  schedule_length : float;
+  cost : float;
+}
+
+val run :
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  result option
+(** [run ~config problem design] uses [design]'s members and mapping;
+    its levels and reexecs fields are ignored (replaced by the search).
+    Returns [None] when no hardening vector allowed by the policy makes
+    the application both schedulable and reliable. *)
+
+val probe :
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  result option * float
+(** [probe ~config problem design] is [(run ..., best-effort length)]
+    computed in a single escalation pass; the tabu mapping search uses
+    the length to rank unschedulable mappings and the result to track
+    schedulable ones. *)
+
+val best_effort_length :
+  config:Config.t -> Ftes_model.Problem.t -> Ftes_model.Design.t -> float
+(** The shortest worst-case schedule length reachable by the policy for
+    this mapping, even if it misses the deadline ([infinity] when the
+    reliability goal is unreachable at every hardening vector).  Used as
+    the tabu-search objective while no schedulable mapping is known. *)

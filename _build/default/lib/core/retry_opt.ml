@@ -1,0 +1,62 @@
+module Design = Ftes_model.Design
+module Problem = Ftes_model.Problem
+module Application = Ftes_model.Application
+module Sfp = Ftes_sfp.Sfp
+module Per_process = Ftes_sfp.Per_process
+module Scheduler = Ftes_sched.Scheduler
+
+let reliability_of problem design ~k =
+  let nodes =
+    List.init (Design.n_members design) (fun member ->
+        let procs = Design.procs_on design ~member in
+        let probs =
+          Array.of_list
+            (List.map (fun proc -> Design.pfail problem design ~proc) procs)
+        in
+        let budgets = Array.of_list (List.map (fun proc -> k.(proc)) procs) in
+        (probs, budgets))
+  in
+  let per_iteration_failure = Per_process.system_failure_per_iteration nodes in
+  Sfp.reliability ~per_iteration_failure
+    ~iterations_per_hour:
+      (Application.iterations_per_hour problem.Problem.app)
+
+let for_mapping ?(kmax = Sfp.default_kmax) problem design =
+  let n = Problem.n_processes problem in
+  let goal = Application.reliability_goal problem.Problem.app in
+  let mu = problem.Problem.app.Application.recovery_overhead_ms in
+  let k = Array.make n 0 in
+  let rec grow current =
+    if current >= goal then Some (Array.copy k)
+    else begin
+      (* Candidate: +1 retry on each process; rank by reliability gain
+         per millisecond of dedicated slack added. *)
+      let best = ref None in
+      for p = 0 to n - 1 do
+        if k.(p) < kmax then begin
+          k.(p) <- k.(p) + 1;
+          let r = reliability_of problem design ~k in
+          k.(p) <- k.(p) - 1;
+          let slack_cost = Design.wcet problem design ~proc:p +. mu in
+          let score = (r -. current) /. slack_cost in
+          match !best with
+          | Some (_, bs, _) when bs >= score -> ()
+          | Some _ | None -> best := Some (p, score, r)
+        end
+      done;
+      match !best with
+      | Some (p, _, r) when r > current ->
+          k.(p) <- k.(p) + 1;
+          grow r
+      | Some _ | None -> None
+    end
+  in
+  grow (reliability_of problem design ~k)
+
+let schedule_length problem design ~k =
+  Scheduler.schedule_length ~slack:(Scheduler.Per_process k) problem design
+
+let optimize ?kmax problem design =
+  match for_mapping ?kmax problem design with
+  | None -> None
+  | Some k -> Some (k, schedule_length problem design ~k)

@@ -1,0 +1,35 @@
+(** Per-process retry assignment — the alternative software-redundancy
+    policy to the paper's shared per-node budgets.
+
+    Every process receives its own retry budget [k_p], paid for with
+    dedicated schedule slack [k_p * (tijh + mu)] right after the process
+    (the {!Ftes_sched.Scheduler.Per_process} slack policy).  Budgets are
+    grown greedily, spending the next retry where it buys the most
+    system reliability {e per millisecond of added slack} — the
+    cost-aware analogue of {!Re_execution_opt}'s rule.
+
+    The ablation in {!Ftes_exp.Ablations} uses this to quantify what the
+    paper's slack sharing is worth against the best per-process
+    alternative (rather than against a uniform dedicated budget). *)
+
+val for_mapping :
+  ?kmax:int ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  int array option
+(** [for_mapping problem design] returns the per-process budget vector
+    meeting the reliability goal, or [None] if the goal is unreachable
+    within [kmax] (default {!Ftes_sfp.Sfp.default_kmax}) retries per
+    process.  The design's own [reexecs] field is ignored. *)
+
+val schedule_length :
+  Ftes_model.Problem.t -> Ftes_model.Design.t -> k:int array -> float
+(** Worst-case schedule length under the per-process policy. *)
+
+val optimize :
+  ?kmax:int ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  (int array * float) option
+(** Budgets plus the resulting schedule length, when the goal is
+    reachable. *)

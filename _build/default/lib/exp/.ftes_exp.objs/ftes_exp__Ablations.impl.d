@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Array Float Ftes_core Ftes_faultsim Ftes_gen Ftes_model Ftes_sched Ftes_sfp Ftes_util Fun List Option Printf Sys

@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Ftes_cc Ftes_core Ftes_util List Printf Synthetic

@@ -1,0 +1,1 @@
+lib/exp/figures.mli: Ftes_core Synthetic

@@ -1,0 +1,1 @@
+lib/exp/synthetic.ml: Array Ftes_core Ftes_gen Hashtbl List Option Sys

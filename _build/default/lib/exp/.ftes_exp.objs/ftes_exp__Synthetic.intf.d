@@ -1,0 +1,1 @@
+lib/exp/synthetic.mli: Ftes_core Ftes_gen

@@ -1,0 +1,79 @@
+module Workload = Ftes_gen.Workload
+module Config = Ftes_core.Config
+module Design_strategy = Ftes_core.Design_strategy
+module Redundancy_opt = Ftes_core.Redundancy_opt
+
+type cell_key = { ser : float; hpd : float; policy : Config.hardening_policy }
+
+type cell_run = {
+  key : cell_key;
+  costs : float option array;
+  elapsed_s : float;
+}
+
+let run_cell ?params ?(config = Config.default) ~specs key =
+  let config = { config with Config.hardening = key.policy } in
+  let cell = { Workload.ser = key.ser; hpd = key.hpd } in
+  let t0 = Sys.time () in
+  let costs =
+    specs
+    |> List.map (fun spec ->
+           let problem = Workload.problem_of_spec ?params cell spec in
+           Design_strategy.run ~config problem
+           |> Option.map (fun (s : Design_strategy.solution) ->
+                  s.Design_strategy.result.Redundancy_opt.cost))
+    |> Array.of_list
+  in
+  { key; costs; elapsed_s = Sys.time () -. t0 }
+
+let percentage hits total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+
+let acceptance run ~max_cost =
+  let hits =
+    Array.fold_left
+      (fun acc cost ->
+        match cost with
+        | Some c when c <= max_cost +. 1e-9 -> acc + 1
+        | Some _ | None -> acc)
+      0 run.costs
+  in
+  percentage hits (Array.length run.costs)
+
+let feasibility run =
+  let hits =
+    Array.fold_left
+      (fun acc -> function Some _ -> acc + 1 | None -> acc)
+      0 run.costs
+  in
+  percentage hits (Array.length run.costs)
+
+type suite = {
+  specs : Workload.app_spec list;
+  params : Workload.params option;
+  config : Config.t;
+  table : (cell_key, cell_run) Hashtbl.t;
+}
+
+let create_suite ?params ?(config = Config.default) ?(count = 150) ~seed () =
+  let specs =
+    match params with
+    | Some params -> Workload.paper_suite ~params ~count ~seed ()
+    | None -> Workload.paper_suite ~count ~seed ()
+  in
+  { specs; params; config; table = Hashtbl.create 32 }
+
+let suite_specs suite = suite.specs
+
+let cell suite key =
+  match Hashtbl.find_opt suite.table key with
+  | Some run -> run
+  | None ->
+      let run =
+        run_cell ?params:suite.params ~config:suite.config ~specs:suite.specs
+          key
+      in
+      Hashtbl.replace suite.table key run;
+      run
+
+let policies = [ Config.Fixed_max; Config.Fixed_min; Config.Optimize ]

@@ -1,0 +1,62 @@
+(** Synthetic-benchmark experiment cells (Section 7).
+
+    A {e cell} is one point of the paper's evaluation grid: a
+    fabrication technology (SER), a hardening performance degradation
+    (HPD) and a design strategy (MIN / MAX / OPT).  Running a cell
+    applies the strategy to every application of the population and
+    records the optimized architecture cost (or infeasibility).  The
+    acceptance percentage of Fig. 6 is then a pure function of the cell
+    run and the maximum architecture cost [ArC] — so one run serves
+    every ArC row, and cells shared between figures are computed once
+    and memoized in a {!suite}. *)
+
+type cell_key = {
+  ser : float;
+  hpd : float;
+  policy : Ftes_core.Config.hardening_policy;
+}
+
+type cell_run = {
+  key : cell_key;
+  costs : float option array;
+      (** per application: best architecture cost, or [None] when the
+          strategy found no schedulable & reliable solution. *)
+  elapsed_s : float;
+}
+
+val run_cell :
+  ?params:Ftes_gen.Workload.params ->
+  ?config:Ftes_core.Config.t ->
+  specs:Ftes_gen.Workload.app_spec list ->
+  cell_key ->
+  cell_run
+(** Run one cell over a fixed application population.  [config]'s
+    hardening policy is overridden by the cell's. *)
+
+val acceptance : cell_run -> max_cost:float -> float
+(** Percentage (0-100) of applications accepted at the given maximum
+    architectural cost. *)
+
+val feasibility : cell_run -> float
+(** Percentage of applications with any feasible solution (ArC = inf). *)
+
+(** Memoizing driver for a whole evaluation. *)
+type suite
+
+val create_suite :
+  ?params:Ftes_gen.Workload.params ->
+  ?config:Ftes_core.Config.t ->
+  ?count:int ->
+  seed:int ->
+  unit ->
+  suite
+(** Generates the application population once (default 150 apps, half
+    with 20 and half with 40 processes). *)
+
+val suite_specs : suite -> Ftes_gen.Workload.app_spec list
+
+val cell : suite -> cell_key -> cell_run
+(** Memoized {!run_cell} on the suite's population. *)
+
+val policies : Ftes_core.Config.hardening_policy list
+(** [MAX; MIN; OPT] — the order used by the paper's charts. *)

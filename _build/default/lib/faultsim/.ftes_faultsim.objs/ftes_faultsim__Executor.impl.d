@@ -1,0 +1,1 @@
+lib/faultsim/executor.ml: Array Float Ftes_model Ftes_sched Ftes_sfp Ftes_util Fun Hashtbl List

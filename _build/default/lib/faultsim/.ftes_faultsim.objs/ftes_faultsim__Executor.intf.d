@@ -1,0 +1,1 @@
+lib/faultsim/executor.mli: Ftes_model Ftes_sched Ftes_util

@@ -1,0 +1,1 @@
+lib/faultsim/fault_model.ml: Float

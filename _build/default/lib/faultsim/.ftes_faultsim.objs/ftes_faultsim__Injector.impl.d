@@ -1,0 +1,1 @@
+lib/faultsim/injector.ml: Fault_model Ftes_util

@@ -1,0 +1,1 @@
+lib/faultsim/injector.mli: Fault_model Ftes_util

@@ -1,0 +1,1 @@
+lib/faultsim/scenarios.ml: Array Executor Float Ftes_model Ftes_sched Ftes_util List Printf

@@ -1,0 +1,1 @@
+lib/faultsim/scenarios.mli: Ftes_model Ftes_sched

@@ -1,0 +1,28 @@
+type t = { ser_per_cycle : float; clock_hz : float; masking : float }
+
+let default_clock_hz = 100e6
+
+let make ?(clock_hz = default_clock_hz) ~ser_per_cycle ~masking () =
+  if not (Float.is_finite ser_per_cycle) || ser_per_cycle < 0.0 then
+    invalid_arg "Fault_model.make: negative SER";
+  if not (Float.is_finite clock_hz) || clock_hz <= 0.0 then
+    invalid_arg "Fault_model.make: clock must be positive";
+  if not (Float.is_finite masking) || masking < 0.0 || masking > 1.0 then
+    invalid_arg "Fault_model.make: masking must lie in [0, 1]";
+  { ser_per_cycle; clock_hz; masking }
+
+let of_hardening ?clock_hz ?(reduction_factor = 100.0) ~ser_per_cycle ~level ()
+    =
+  if level < 1 then invalid_arg "Fault_model.of_hardening: level out of range";
+  if reduction_factor < 1.0 then
+    invalid_arg "Fault_model.of_hardening: reduction factor must be >= 1";
+  let masking = 1.0 -. (reduction_factor ** float_of_int (-(level - 1))) in
+  make ?clock_hz ~ser_per_cycle ~masking ()
+
+let effective_rate_per_ms t =
+  t.ser_per_cycle *. t.clock_hz /. 1000.0 *. (1.0 -. t.masking)
+
+let failure_probability t ~duration_ms =
+  if duration_ms < 0.0 then
+    invalid_arg "Fault_model.failure_probability: negative duration";
+  -.Float.expm1 (-.(effective_rate_per_ms t *. duration_ms))

@@ -1,0 +1,44 @@
+(** Transient-fault model (the substitute for the paper's fault-injection
+    tools [1, 18]).
+
+    Transient faults strike a running process as a Poisson process whose
+    rate is the soft error rate (SER) per clock cycle times the clock
+    frequency; a hardened node masks a fraction of the strikes.  The
+    closed form of the resulting single-execution failure probability is
+
+    [p = 1 - exp (-rate * (1 - masking) * t)]
+
+    which for the tiny rates of interest is [rate * (1-masking) * t].
+    {!Injector} estimates the same quantity by Monte-Carlo injection;
+    the generators use {!failure_probability} directly. *)
+
+type t = {
+  ser_per_cycle : float;  (** raw soft error rate per clock cycle. *)
+  clock_hz : float;  (** processor clock, cycles per second. *)
+  masking : float;  (** fraction of strikes masked by hardening, in [0,1). *)
+}
+
+val make : ?clock_hz:float -> ser_per_cycle:float -> masking:float -> unit -> t
+(** Default clock: 100 MHz.  Raises [Invalid_argument] on a negative
+    SER, a non-positive clock or a masking outside [\[0, 1\]]. *)
+
+val default_clock_hz : float
+
+val of_hardening :
+  ?clock_hz:float ->
+  ?reduction_factor:float ->
+  ser_per_cycle:float ->
+  level:int ->
+  unit ->
+  t
+(** Fault model of h-version [level]: hardening divides the effective
+    rate by [reduction_factor^(level-1)] (default factor 100, the
+    two-orders-of-magnitude steps of the paper's examples), expressed
+    here as a masking fraction. *)
+
+val effective_rate_per_ms : t -> float
+(** Unmasked strikes per millisecond of execution. *)
+
+val failure_probability : t -> duration_ms:float -> float
+(** Closed-form single-execution failure probability of a process with
+    the given WCET. *)

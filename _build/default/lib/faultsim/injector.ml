@@ -1,0 +1,54 @@
+module Prng = Ftes_util.Prng
+module Stats = Ftes_util.Stats
+
+type estimate = {
+  trials : int;
+  failures : int;
+  p_hat : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let run_once prng (model : Fault_model.t) ~duration_ms =
+  let raw_rate = model.ser_per_cycle *. model.clock_hz /. 1000.0 in
+  if raw_rate <= 0.0 then false
+  else begin
+    (* Walk the strike arrivals across the execution window; any strike
+       that survives masking corrupts the execution. *)
+    let rec walk t =
+      let t = t +. Prng.exponential prng raw_rate in
+      if t > duration_ms then false
+      else if not (Prng.chance prng model.masking) then true
+      else walk t
+    in
+    walk 0.0
+  end
+
+let estimate_pfail prng model ~duration_ms ~trials =
+  if trials <= 0 then invalid_arg "Injector.estimate_pfail: trials must be > 0";
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    if run_once prng model ~duration_ms then incr failures
+  done;
+  let p_hat = float_of_int !failures /. float_of_int trials in
+  let ci_low, ci_high =
+    Stats.binomial_confidence ~successes:!failures ~trials
+  in
+  { trials; failures = !failures; p_hat; ci_low; ci_high }
+
+let importance_boost (model : Fault_model.t) ~target_p =
+  if target_p <= 0.0 || target_p >= 1.0 then
+    invalid_arg "Injector.importance_boost: target must lie in (0, 1)";
+  let effective = Fault_model.effective_rate_per_ms model in
+  if effective <= 0.0 then (model, 1.0)
+  else begin
+    (* Choose the factor against a 1 ms execution; the caller's actual
+       durations stay in the linear regime as long as target_p is small. *)
+    let factor = target_p /. effective in
+    let boosted =
+      Fault_model.make ~clock_hz:model.clock_hz
+        ~ser_per_cycle:(model.ser_per_cycle *. factor)
+        ~masking:model.masking ()
+    in
+    (boosted, factor)
+  end

@@ -1,0 +1,81 @@
+module Design = Ftes_model.Design
+module Problem = Ftes_model.Problem
+module Scheduler = Ftes_sched.Scheduler
+module Symmetric = Ftes_util.Symmetric
+
+let count_scenarios (design : Design.t) =
+  let members = Design.n_members design in
+  let total = ref 1.0 in
+  for member = 0 to members - 1 do
+    let n = List.length (Design.procs_on design ~member) in
+    let k = design.Design.reexecs.(member) in
+    let node_scenarios = ref 0.0 in
+    for f = 0 to k do
+      node_scenarios :=
+        !node_scenarios +. float_of_int (Symmetric.count_multisets ~n ~f)
+    done;
+    total := !total *. Float.max 1.0 !node_scenarios
+  done;
+  !total
+
+type result = {
+  exact_worst_ms : float;
+  worst_faults : int array;
+  scenarios : int;
+  shared_bound_ms : float;
+  conservative_bound_ms : float;
+}
+
+(* Enumerate per-node fault multisets and take the cartesian product
+   across nodes, folding [visit] over the global fault vectors. *)
+let iter_fault_vectors (design : Design.t) ~n_processes visit =
+  let members = Design.n_members design in
+  let faults = Array.make n_processes 0 in
+  let rec per_node member =
+    if member = members then visit faults
+    else begin
+      let procs = Array.of_list (Design.procs_on design ~member) in
+      let k = design.Design.reexecs.(member) in
+      let n = Array.length procs in
+      if n = 0 then per_node (member + 1)
+      else
+        for f = 0 to k do
+          Symmetric.fold_multisets ~n ~f ~init:() (fun () m ->
+              Array.iteri (fun i times -> faults.(procs.(i)) <- times) m;
+              per_node (member + 1));
+          Array.iter (fun p -> faults.(p) <- 0) procs
+        done
+    end
+  in
+  per_node 0
+
+let worst_case ?bus ?(limit = 200_000) problem design =
+  let space = count_scenarios design in
+  if space > float_of_int limit then
+    invalid_arg
+      (Printf.sprintf "Scenarios.worst_case: %.3g scenarios exceed the limit %d"
+         space limit);
+  let schedule = Scheduler.schedule ?bus problem design in
+  let n = Problem.n_processes problem in
+  let exact = ref neg_infinity in
+  let worst = ref (Array.make n 0) in
+  let scenarios = ref 0 in
+  iter_fault_vectors design ~n_processes:n (fun faults ->
+      incr scenarios;
+      let o = Executor.run_scenario ?bus problem design schedule ~faults in
+      (* Budgets cover every enumerated scenario by construction. *)
+      assert (o.Executor.failed_node = None);
+      if o.Executor.makespan > !exact then begin
+        exact := o.Executor.makespan;
+        worst := Array.copy faults
+      end);
+  { exact_worst_ms = !exact;
+    worst_faults = !worst;
+    scenarios = !scenarios;
+    shared_bound_ms =
+      Scheduler.schedule_length ~slack:Scheduler.Shared ?bus problem design;
+    conservative_bound_ms =
+      Scheduler.schedule_length ~slack:Scheduler.Conservative ?bus problem
+        design }
+
+let optimism_certificate r = r.exact_worst_ms > r.shared_bound_ms +. 1e-9

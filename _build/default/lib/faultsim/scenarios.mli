@@ -1,0 +1,40 @@
+(** Exact worst-case analysis by exhaustive fault-scenario replay.
+
+    The paper's shared-slack schedule length (Section 6.4) and our sound
+    conservative bound both {e estimate} the worst completion time over
+    the fault scenarios the re-execution budgets admit.  This module
+    computes that worst case {e exactly}: it enumerates every fault
+    vector in which node [Nj] suffers at most [kj] faults (a product of
+    per-node multisets, the very combinatorics of Appendix A) and
+    replays each deterministically with {!Executor.run_scenario}.
+
+    Enumeration is exponential in the budgets; the [limit] guard keeps
+    it to the small instances where this is meant to be used (unit
+    tests, the bench ablation, and spot checks of real designs). *)
+
+val count_scenarios : Ftes_model.Design.t -> float
+(** Number of admissible fault vectors: the product over nodes of
+    [sum_(f <= kj) C(n_j + f - 1, f)]. *)
+
+type result = {
+  exact_worst_ms : float;
+      (** latest completion over every admissible scenario. *)
+  worst_faults : int array;  (** a scenario attaining it. *)
+  scenarios : int;  (** number of scenarios replayed. *)
+  shared_bound_ms : float;  (** the paper's SL for comparison. *)
+  conservative_bound_ms : float;  (** our sound bound. *)
+}
+
+val worst_case :
+  ?bus:Ftes_sched.Bus.policy ->
+  ?limit:int ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  result
+(** Raises [Invalid_argument] when {!count_scenarios} exceeds [limit]
+    (default 200_000). *)
+
+val optimism_certificate : result -> bool
+(** [true] when the paper's shared bound is exceeded by some admissible
+    scenario, i.e. the exact worst case certifies the bound's
+    optimism. *)

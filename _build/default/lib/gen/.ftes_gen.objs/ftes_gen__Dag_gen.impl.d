@@ -1,0 +1,1 @@
+lib/gen/dag_gen.ml: Array Ftes_model Ftes_util Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/gen/dag_gen.mli: Ftes_model Ftes_util

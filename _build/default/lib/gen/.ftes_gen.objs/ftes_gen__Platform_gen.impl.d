@@ -1,0 +1,1 @@
+lib/gen/platform_gen.ml: Array Ftes_faultsim Ftes_model

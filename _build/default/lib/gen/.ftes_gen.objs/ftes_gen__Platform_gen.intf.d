@@ -1,0 +1,1 @@
+lib/gen/platform_gen.mli: Ftes_model

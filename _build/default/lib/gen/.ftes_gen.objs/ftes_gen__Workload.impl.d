@@ -1,0 +1,1 @@
+lib/gen/workload.ml: Array Dag_gen Float Ftes_core Ftes_model Ftes_sched Ftes_util Fun List Platform_gen Printf

@@ -1,0 +1,1 @@
+lib/gen/workload.mli: Ftes_model Platform_gen

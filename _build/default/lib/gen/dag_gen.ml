@@ -1,0 +1,74 @@
+module Prng = Ftes_util.Prng
+module Task_graph = Ftes_model.Task_graph
+
+type params = {
+  n : int;
+  width : int;
+  extra_edge_probability : float;
+  transmission_ms_range : float * float;
+}
+
+let default_params ~n =
+  { n;
+    width = max 2 (n / 5);
+    extra_edge_probability = 0.15;
+    transmission_ms_range = (0.5, 2.0) }
+
+let generate prng params =
+  let { n; width; extra_edge_probability; transmission_ms_range = lo, hi } =
+    params
+  in
+  if n <= 0 then invalid_arg "Dag_gen.generate: n must be positive";
+  if width <= 0 then invalid_arg "Dag_gen.generate: width must be positive";
+  if hi < lo || lo < 0.0 then
+    invalid_arg "Dag_gen.generate: bad transmission range";
+  let transmission () = Prng.float_in prng lo hi in
+  (* Assign processes to layers. *)
+  let layer = Array.make n 0 in
+  let current = ref 0 and filled = ref 0 in
+  for p = 0 to n - 1 do
+    layer.(p) <- !current;
+    incr filled;
+    let target = 1 + Prng.int prng width in
+    if !filled >= target then begin
+      incr current;
+      filled := 0
+    end
+  done;
+  let edges = ref [] in
+  let have = Hashtbl.create 64 in
+  let out_degree = Array.make n 0 in
+  let add src dst =
+    if not (Hashtbl.mem have (src, dst)) then begin
+      Hashtbl.add have (src, dst) ();
+      out_degree.(src) <- out_degree.(src) + 1;
+      edges :=
+        { Task_graph.src; dst; transmission_ms = transmission () } :: !edges
+    end
+  in
+  (* Every process beyond the first layer gets a parent from the
+     immediately preceding layers, keeping the graph mostly connected. *)
+  for p = 0 to n - 1 do
+    if layer.(p) > 0 then begin
+      let parents =
+        List.filter (fun q -> layer.(q) < layer.(p)) (List.init n Fun.id)
+      in
+      let close =
+        List.filter (fun q -> layer.(q) = layer.(p) - 1) parents
+      in
+      let pool = if close <> [] then close else parents in
+      add (Prng.choice prng (Array.of_list pool)) p
+    end
+  done;
+  (* Sprinkle extra forward edges, with a per-process cap so the
+     expected degree stays small like TGFF's defaults. *)
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      let gap = layer.(q) - layer.(p) in
+      if
+        gap > 0 && out_degree.(p) < 4
+        && Prng.chance prng (extra_edge_probability /. float_of_int gap)
+      then add p q
+    done
+  done;
+  Task_graph.make ~n (List.rev !edges)

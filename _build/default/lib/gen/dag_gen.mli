@@ -1,0 +1,26 @@
+(** TGFF-style random task-graph generation.
+
+    The synthetic applications of Section 7 are acyclic process graphs
+    of 20 or 40 processes.  We use the classic layer-by-layer recipe:
+    processes are spread over layers, every non-first-layer process
+    receives at least one predecessor from an earlier layer, and extra
+    forward edges are added with a given probability.  All randomness
+    comes from the supplied generator, so graphs are reproducible. *)
+
+type params = {
+  n : int;  (** number of processes. *)
+  width : int;  (** target processes per layer (>= 1). *)
+  extra_edge_probability : float;
+      (** chance of each potential additional forward edge, scaled so the
+          expected edge count stays linear in [n]. *)
+  transmission_ms_range : float * float;
+      (** worst-case bus transmission time of each produced message. *)
+}
+
+val default_params : n:int -> params
+(** Width [max 2 (n/5)], extra edge probability [0.15], transmission
+    times in [\[0.5, 2.0\]] ms. *)
+
+val generate : Ftes_util.Prng.t -> params -> Ftes_model.Task_graph.t
+(** Raises [Invalid_argument] on non-positive [n] or [width], or an
+    empty transmission range. *)

@@ -1,0 +1,1 @@
+lib/model/application.ml: Array Float Format Option Printf Task_graph

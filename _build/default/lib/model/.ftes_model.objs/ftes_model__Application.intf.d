@@ -1,0 +1,1 @@
+lib/model/application.mli: Format Task_graph

@@ -1,0 +1,1 @@
+lib/model/design.ml: Array Format List Platform Problem String

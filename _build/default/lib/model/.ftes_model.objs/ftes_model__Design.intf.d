@@ -1,0 +1,1 @@
+lib/model/design.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/model/platform.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/model/problem.ml: Application Array Format Platform

@@ -1,0 +1,1 @@
+lib/model/problem.mli: Application Format Platform Task_graph

@@ -1,0 +1,1 @@
+lib/model/problem_io.ml: Application Array Ftes_util Fun List Platform Problem Result Task_graph

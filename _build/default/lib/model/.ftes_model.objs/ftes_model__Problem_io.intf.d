@@ -1,0 +1,1 @@
+lib/model/problem_io.mli: Ftes_util Problem

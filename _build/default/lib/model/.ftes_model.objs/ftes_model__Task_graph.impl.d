@@ -1,0 +1,1 @@
+lib/model/task_graph.ml: Array Buffer Float Fun Hashtbl Int List Option Printf Set

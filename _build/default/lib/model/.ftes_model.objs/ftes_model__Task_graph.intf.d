@@ -1,0 +1,1 @@
+lib/model/task_graph.mli:

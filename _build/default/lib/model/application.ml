@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  graph : Task_graph.t;
+  process_names : string array;
+  deadline_ms : float;
+  period_ms : float;
+  gamma : float;
+  recovery_overhead_ms : float;
+}
+
+let time_unit_ms = 3600.0 *. 1000.0
+
+let make ?(name = "app") ?process_names ?period_ms ~graph ~deadline_ms ~gamma
+    ~recovery_overhead_ms () =
+  let n = Task_graph.n graph in
+  let process_names =
+    match process_names with
+    | Some names ->
+        if Array.length names <> n then
+          invalid_arg "Application.make: process_names length mismatch";
+        names
+    | None -> Array.init n (fun i -> Printf.sprintf "P%d" (i + 1))
+  in
+  let period_ms = Option.value ~default:deadline_ms period_ms in
+  if not (Float.is_finite deadline_ms) || deadline_ms <= 0.0 then
+    invalid_arg "Application.make: deadline must be positive";
+  if not (Float.is_finite period_ms) || period_ms <= 0.0 then
+    invalid_arg "Application.make: period must be positive";
+  if not (Float.is_finite gamma) || gamma <= 0.0 || gamma >= 1.0 then
+    invalid_arg "Application.make: gamma must lie in (0, 1)";
+  if not (Float.is_finite recovery_overhead_ms) || recovery_overhead_ms < 0.0
+  then invalid_arg "Application.make: recovery overhead must be non-negative";
+  { name; graph; process_names; deadline_ms; period_ms; gamma;
+    recovery_overhead_ms }
+
+let n_processes t = Task_graph.n t.graph
+
+let process_name t i = t.process_names.(i)
+
+let iterations_per_hour t = time_unit_ms /. t.period_ms
+
+let reliability_goal t = 1.0 -. t.gamma
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d processes, %d edges, D = %g ms, rho = 1 - %g/h, mu = %g ms"
+    t.name (n_processes t)
+    (Task_graph.n_edges t.graph)
+    t.deadline_ms t.gamma t.recovery_overhead_ms

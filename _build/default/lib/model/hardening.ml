@@ -1,0 +1,22 @@
+let degradation ~hpd ~level ~levels =
+  if levels < 1 then invalid_arg "Hardening.degradation: no levels";
+  if level < 1 || level > levels then
+    invalid_arg "Hardening.degradation: level out of range";
+  if not (Float.is_finite hpd) || hpd < 0.0 then
+    invalid_arg "Hardening.degradation: invalid HPD";
+  if level = 1 then 0.01
+  else if levels = 1 then 0.01
+  else hpd *. float_of_int (level - 1) /. float_of_int (levels - 1)
+
+let sfp_reduction ~factor ~level =
+  if factor <= 0.0 then invalid_arg "Hardening.sfp_reduction: invalid factor";
+  if level < 1 then invalid_arg "Hardening.sfp_reduction: level out of range";
+  factor ** float_of_int (-(level - 1))
+
+let linear_cost ~base ~level =
+  if level < 1 then invalid_arg "Hardening.linear_cost: level out of range";
+  base *. float_of_int level
+
+let doubling_cost ~base ~level =
+  if level < 1 then invalid_arg "Hardening.doubling_cost: level out of range";
+  base *. (2.0 ** float_of_int (level - 1))

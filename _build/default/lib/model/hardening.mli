@@ -1,0 +1,32 @@
+(** Hardening level schedules (Section 7 parameterization).
+
+    A computation node is available in several {e h-versions}.  Raising
+    the hardening level lowers the process failure probabilities but
+    increases both the cost and the worst-case execution times
+    ("hardening performance degradation", HPD). *)
+
+val degradation : hpd:float -> level:int -> levels:int -> float
+(** [degradation ~hpd ~level ~levels] is the WCET increase {e fraction}
+    of h-version [level] (1-based) out of [levels] versions, for an HPD
+    expressed as a fraction (e.g. [0.25] for 25%).
+
+    Following Section 7: the minimum hardening level always degrades by
+    1%, and the remaining levels degrade linearly up to [hpd] — for
+    HPD = 100% and 5 levels this yields 1, 25, 50, 75, 100%.  Raises
+    [Invalid_argument] for out-of-range arguments. *)
+
+val sfp_reduction : factor:float -> level:int -> float
+(** [sfp_reduction ~factor ~level] is the multiplier applied to the raw
+    (level-1) failure probability at h-version [level]:
+    [factor ** -(level - 1)].  The default [factor] used by the
+    generators is 100, matching the two-orders-of-magnitude steps of the
+    paper's Fig. 1 and Fig. 3 tables. *)
+
+val linear_cost : base:float -> level:int -> float
+(** [linear_cost ~base ~level] = [base *. float level] — the cost model
+    of the synthetic experiments ("hardware cost increases linearly with
+    the hardening level"). *)
+
+val doubling_cost : base:float -> level:int -> float
+(** [doubling_cost ~base ~level] = [base *. 2^(level-1)] — the cost
+    model of the motivational examples (Fig. 1: 16/32/64). *)

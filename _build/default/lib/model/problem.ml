@@ -1,0 +1,39 @@
+type t = { app : Application.t; library : Platform.node_type array }
+
+let make ~app ~library =
+  if Array.length library = 0 then
+    invalid_arg "Problem.make: empty node library";
+  let n = Application.n_processes app in
+  Array.iter
+    (fun nt ->
+      if Platform.n_processes nt <> n then
+        invalid_arg "Problem.make: node tables do not match the application")
+    library;
+  { app; library }
+
+let n_processes t = Application.n_processes t.app
+
+let n_library t = Array.length t.library
+
+let node t j =
+  if j < 0 || j >= Array.length t.library then
+    invalid_arg "Problem.node: library index out of range";
+  t.library.(j)
+
+let levels t j = Platform.levels (node t j)
+
+let wcet t ~node:j ~level ~proc =
+  (Platform.version (node t j) ~level).wcet_ms.(proc)
+
+let pfail t ~node:j ~level ~proc =
+  (Platform.version (node t j) ~level).pfail.(proc)
+
+let cost t ~node:j ~level = (Platform.version (node t j) ~level).cost
+
+let min_cost t ~node:j = cost t ~node:j ~level:1
+
+let graph t = t.app.Application.graph
+
+let pp ppf t =
+  Format.fprintf ppf "%a on a library of %d node types" Application.pp t.app
+    (n_library t)

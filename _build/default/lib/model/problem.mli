@@ -1,0 +1,41 @@
+(** A complete design-optimization problem instance (Section 4).
+
+    Couples an {!Application.t} with the library of available node types
+    and gives uniform access to the [tijh] / [pijh] / [Cjh] tables. *)
+
+type t = private {
+  app : Application.t;
+  library : Platform.node_type array;
+}
+
+val make : app:Application.t -> library:Platform.node_type array -> t
+(** Raises [Invalid_argument] when the library is empty or a node's
+    tables don't cover every process of the application. *)
+
+val n_processes : t -> int
+
+val n_library : t -> int
+(** Number of node types available for architecture selection. *)
+
+val node : t -> int -> Platform.node_type
+(** [node t j] with a 0-based library index. *)
+
+val levels : t -> int -> int
+(** Number of h-versions of library node [j]. *)
+
+val wcet : t -> node:int -> level:int -> proc:int -> float
+(** [tijh]: WCET of process [proc] on the [level]-version of library
+    node [node]. *)
+
+val pfail : t -> node:int -> level:int -> proc:int -> float
+(** [pijh]: single-execution failure probability. *)
+
+val cost : t -> node:int -> level:int -> float
+(** [Cjh]. *)
+
+val min_cost : t -> node:int -> float
+(** Cost of the cheapest (minimum-hardening) version. *)
+
+val graph : t -> Task_graph.t
+
+val pp : Format.formatter -> t -> unit

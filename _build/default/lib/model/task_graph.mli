@@ -1,0 +1,70 @@
+(** Directed acyclic task graphs (the application model of Section 2).
+
+    Processes are numbered [0 .. n-1].  An edge [e] from [src] to [dst]
+    means the output of [src] is an input of [dst]; when the two
+    endpoints are mapped on different computation nodes the edge becomes
+    a message on the bus with worst-case transmission time
+    [e.transmission_ms].  A process starts only after all its inputs
+    have arrived and is never preempted.
+
+    An application may consist of several graphs [G_k]; they are
+    represented here as the connected components of a single graph
+    value. *)
+
+type edge = { src : int; dst : int; transmission_ms : float }
+
+type t
+
+val make : n:int -> edge list -> t
+(** [make ~n edges] validates and freezes a graph with [n] processes.
+    Raises [Invalid_argument] if an endpoint is out of range, an edge is
+    a self-loop, a pair of processes is connected twice, a transmission
+    time is negative or not finite, or the graph has a cycle. *)
+
+val n : t -> int
+(** Number of processes. *)
+
+val edges : t -> edge list
+(** All edges, in insertion order. *)
+
+val n_edges : t -> int
+
+val succs : t -> int -> edge list
+(** Outgoing edges of a process. *)
+
+val preds : t -> int -> edge list
+(** Incoming edges of a process. *)
+
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+val sources : t -> int list
+(** Processes with no predecessors, ascending. *)
+
+val sinks : t -> int list
+(** Processes with no successors, ascending. *)
+
+val topological_order : t -> int array
+(** A fixed topological order (Kahn, smallest-index-first, hence
+    deterministic). *)
+
+val longest_path :
+  t -> exec:(int -> float) -> comm:(edge -> float) -> float
+(** Length of the longest (critical) path where process [i] contributes
+    [exec i] and edge [e] contributes [comm e]. *)
+
+val critical_path :
+  t -> exec:(int -> float) -> comm:(edge -> float) -> int list
+(** The processes of one longest path, in execution order. *)
+
+val bottom_levels :
+  t -> exec:(int -> float) -> comm:(edge -> float) -> float array
+(** [bottom_levels t ~exec ~comm].(i) is the longest path length from
+    the start of process [i] to the end of the graph — the classic list
+    scheduling priority. *)
+
+val components : t -> int list list
+(** Weakly-connected components (the [G_k] of the application set). *)
+
+val to_dot : ?name:string -> ?label:(int -> string) -> t -> string
+(** GraphViz rendering, for documentation and debugging. *)

@@ -1,0 +1,1 @@
+lib/sched/bus.ml: Array Float

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Buffer Bytes Float Ftes_model Fun List Printf String

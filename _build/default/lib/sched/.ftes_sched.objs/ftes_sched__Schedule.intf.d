@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Ftes_model

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Bus Float Ftes_model List Schedule

@@ -1,0 +1,1 @@
+lib/sfp/bound.ml: Array Float Ftes_util

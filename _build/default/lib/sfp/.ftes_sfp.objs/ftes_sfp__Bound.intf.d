@@ -1,0 +1,1 @@
+lib/sfp/bound.mli:

@@ -1,0 +1,1 @@
+lib/sfp/per_process.ml: Array Ftes_model Ftes_util List Sfp

@@ -1,0 +1,1 @@
+lib/sfp/per_process.mli: Ftes_model

@@ -1,0 +1,1 @@
+lib/sfp/sfp.ml: Array Float Ftes_model Ftes_util

@@ -1,0 +1,1 @@
+lib/sfp/sfp.mli: Ftes_model

@@ -1,0 +1,30 @@
+(** Closed-form bounds on the node failure probability.
+
+    The exact analysis of {!Sfp} evaluates formula (4) through the
+    complete homogeneous symmetric polynomials of the process failure
+    probabilities.  This module provides the classical first-order
+    alternative
+
+    {v Pr(f > k; Njh)  <=  S^(k+1) / (1 - S),     S = sum of pijh v}
+
+    obtained from [h_f <= S^f] and the geometric tail bound.  It is what
+    a designer would use on the back of an envelope; the ablation
+    experiment quantifies how many extra re-executions (and how much
+    schedule slack) the bound costs compared to the exact analysis. *)
+
+val sum_check : float array -> float
+(** [sum_check p] is S = sum of the entries; the bounds below require
+    [S < 1]. *)
+
+val pr_exceeds_upper : float array -> k:int -> float
+(** Upper bound on formula (4).  Returns [1.] when [S >= 1] (the bound
+    degenerates).  Raises [Invalid_argument] on negative [k] or on
+    entries outside [\[0, 1)]. *)
+
+val required_k : float array -> budget:float -> kmax:int -> int option
+(** [required_k p ~budget ~kmax] is the smallest [k <= kmax] whose
+    {!pr_exceeds_upper} does not exceed [budget], if any. *)
+
+val is_sound : float array -> k:int -> bool
+(** [is_sound p ~k] checks the defining inequality against the exact
+    analysis — used by the test-suite, exported for convenience. *)

@@ -1,0 +1,46 @@
+module Rounding = Ftes_util.Rounding
+module Design = Ftes_model.Design
+module Problem = Ftes_model.Problem
+module Application = Ftes_model.Application
+
+let process_failure ~p ~k =
+  if not (Rounding.is_probability p) || p >= 1.0 then
+    invalid_arg "Per_process.process_failure: probability out of range";
+  if k < 0 then invalid_arg "Per_process.process_failure: negative k";
+  Rounding.clamp01 (Rounding.up (p ** float_of_int (k + 1)))
+
+let node_failure ~probs ~k =
+  if Array.length probs <> Array.length k then
+    invalid_arg "Per_process.node_failure: length mismatch";
+  let survive = ref 1.0 in
+  Array.iteri
+    (fun i p -> survive := !survive *. (1.0 -. process_failure ~p ~k:k.(i)))
+    probs;
+  Rounding.clamp01 (Rounding.up (1.0 -. !survive))
+
+let system_failure_per_iteration nodes =
+  let survive = ref 1.0 in
+  List.iter
+    (fun (probs, k) -> survive := !survive *. (1.0 -. node_failure ~probs ~k))
+    nodes;
+  Rounding.clamp01 (Rounding.up (1.0 -. !survive))
+
+let meets_goal problem design ~k =
+  let n = Problem.n_processes problem in
+  if Array.length k <> n then
+    invalid_arg "Per_process.meets_goal: budget vector length mismatch";
+  let nodes =
+    List.init (Design.n_members design) (fun member ->
+        let procs = Design.procs_on design ~member in
+        let probs =
+          Array.of_list
+            (List.map (fun proc -> Design.pfail problem design ~proc) procs)
+        in
+        let budgets = Array.of_list (List.map (fun proc -> k.(proc)) procs) in
+        (probs, budgets))
+  in
+  let per_iteration_failure = system_failure_per_iteration nodes in
+  let app = problem.Problem.app in
+  Sfp.reliability ~per_iteration_failure
+    ~iterations_per_hour:(Application.iterations_per_hour app)
+  >= Application.reliability_goal app

@@ -1,0 +1,30 @@
+(** SFP analysis for {e per-process} retry budgets.
+
+    The paper assigns one shared re-execution budget [kj] per node; the
+    natural alternative gives every process its own retry budget [k_p]
+    with dedicated slack.  The failure mathematics simplifies: process
+    [p] fails its iteration iff all [k_p + 1] attempts fail, so a node
+    survives iff every process stays within its own budget:
+
+    {v Pr(node fails) = 1 - prod_p (1 - p_p^(k_p + 1)) v}
+
+    (independent attempts, same directed rounding as {!Sfp}).  The
+    ablation in {!Ftes_exp.Ablations} compares the two policies. *)
+
+val process_failure : p:float -> k:int -> float
+(** [p^(k+1)], rounded up.  Raises [Invalid_argument] unless [p] is in
+    [\[0, 1)] and [k >= 0]. *)
+
+val node_failure : probs:float array -> k:int array -> float
+(** Per-node failure probability under per-process budgets, rounded
+    up.  Raises [Invalid_argument] on a length mismatch. *)
+
+val system_failure_per_iteration : (float array * int array) list -> float
+(** Union over nodes, as in formula (5). *)
+
+val meets_goal :
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  k:int array ->
+  bool
+(** Formula (6) with per-process budgets [k] (indexed by process). *)

@@ -1,0 +1,115 @@
+module Rounding = Ftes_util.Rounding
+module Symmetric = Ftes_util.Symmetric
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Application = Ftes_model.Application
+
+type node_analysis = {
+  probs : float array;
+  kmax : int;
+  pr0 : float; (* formula (1), rounded down *)
+  homogeneous : float array; (* h_0 .. h_kmax of [probs] *)
+}
+
+let default_kmax = 12
+
+let node_analysis ?(kmax = default_kmax) probs =
+  if kmax < 0 then invalid_arg "Sfp.node_analysis: negative kmax";
+  Array.iter
+    (fun p ->
+      if not (Rounding.is_probability p) || p >= 1.0 then
+        invalid_arg "Sfp.node_analysis: probabilities must lie in [0, 1)")
+    probs;
+  let pr0 =
+    Rounding.down (Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs)
+  in
+  let homogeneous = Symmetric.complete_homogeneous probs kmax in
+  { probs = Array.copy probs; kmax; pr0; homogeneous }
+
+let kmax t = t.kmax
+
+let pr_zero t = t.pr0
+
+let pr_faults t ~f =
+  if f < 0 || f > t.kmax then invalid_arg "Sfp.pr_faults: f out of range";
+  Rounding.down (t.pr0 *. t.homogeneous.(f))
+
+let pr_exceeds t ~k =
+  if k < 0 || k > t.kmax then invalid_arg "Sfp.pr_exceeds: k out of range";
+  let recovered = ref t.pr0 in
+  for f = 1 to k do
+    recovered := !recovered +. pr_faults t ~f
+  done;
+  Rounding.clamp01 (Rounding.up (1.0 -. !recovered))
+
+let pr_exceeds_enumerated probs ~k =
+  if k < 0 then invalid_arg "Sfp.pr_exceeds_enumerated: negative k";
+  let n = Array.length probs in
+  let pr0 =
+    Rounding.down (Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs)
+  in
+  let recovered = ref pr0 in
+  for f = 1 to k do
+    (* Formula (2) summed over every f-fault multiset: the scenario
+       probability is Pr(0) times the product of the failing processes'
+       probabilities, with multiplicity. *)
+    let sum =
+      Symmetric.fold_multisets ~n ~f ~init:0.0 (fun acc m ->
+          let product = ref 1.0 in
+          Array.iteri
+            (fun i times ->
+              for _ = 1 to times do
+                product := !product *. probs.(i)
+              done)
+            m;
+          acc +. !product)
+    in
+    recovered := !recovered +. Rounding.down (pr0 *. sum)
+  done;
+  Rounding.clamp01 (Rounding.up (1.0 -. !recovered))
+
+let system_failure_per_iteration analyses ~k =
+  if Array.length analyses <> Array.length k then
+    invalid_arg "Sfp.system_failure_per_iteration: length mismatch";
+  let survive = ref 1.0 in
+  Array.iteri
+    (fun j a -> survive := !survive *. (1.0 -. pr_exceeds a ~k:k.(j)))
+    analyses;
+  Rounding.clamp01 (Rounding.up (1.0 -. !survive))
+
+let reliability ~per_iteration_failure ~iterations_per_hour =
+  if per_iteration_failure >= 1.0 then 0.0
+  else begin
+    let iterations = Float.ceil iterations_per_hour in
+    (* exp (n * log1p (-p)) is (1 - p)^n without intermediate
+       cancellation for the tiny p this analysis produces. *)
+    exp (iterations *. Float.log1p (-.per_iteration_failure))
+  end
+
+type verdict = {
+  per_iteration_failure : float;
+  reliability_per_hour : float;
+  goal : float;
+  meets_goal : bool;
+}
+
+let evaluate problem design =
+  let members = Design.n_members design in
+  let analyses =
+    Array.init members (fun member ->
+        let kmax = max default_kmax design.Design.reexecs.(member) in
+        node_analysis ~kmax (Design.pfail_vector problem design ~member))
+  in
+  let per_iteration_failure =
+    system_failure_per_iteration analyses ~k:design.Design.reexecs
+  in
+  let app = problem.Problem.app in
+  let reliability_per_hour =
+    reliability ~per_iteration_failure
+      ~iterations_per_hour:(Application.iterations_per_hour app)
+  in
+  let goal = Application.reliability_goal app in
+  { per_iteration_failure; reliability_per_hour; goal;
+    meets_goal = reliability_per_hour >= goal }
+
+let meets_goal problem design = (evaluate problem design).meets_goal

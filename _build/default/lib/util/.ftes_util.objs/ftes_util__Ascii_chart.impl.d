@@ -1,0 +1,1 @@
+lib/util/ascii_chart.ml: Array Buffer Float List Printf String

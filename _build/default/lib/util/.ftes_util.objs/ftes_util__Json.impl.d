@@ -1,0 +1,1 @@
+lib/util/json.ml: Array Buffer Char Float List Printf Result String

@@ -1,0 +1,1 @@
+lib/util/symmetric.ml: Array Float

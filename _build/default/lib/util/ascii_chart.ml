@@ -1,0 +1,53 @@
+type series = { label : string; values : float list }
+
+let bar_chart ?(width = 50) ~title ~x_labels series =
+  List.iter
+    (fun s ->
+      if List.length s.values <> List.length x_labels then
+        invalid_arg "Ascii_chart.bar_chart: series length mismatch")
+    series;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let label_width =
+    List.fold_left (fun acc s -> max acc (String.length s.label)) 0 series
+  in
+  let x_width =
+    List.fold_left (fun acc x -> max acc (String.length x)) 0 x_labels
+  in
+  let bar v =
+    let v = Float.max 0.0 (Float.min 100.0 v) in
+    let n = int_of_float (Float.round (v /. 100.0 *. float_of_int width)) in
+    String.make n '#'
+  in
+  List.iteri
+    (fun i x ->
+      List.iter
+        (fun s ->
+          let v = List.nth s.values i in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %-*s |%-*s| %5.1f\n" x_width
+               (if s == List.hd series then x else "")
+               label_width s.label width (bar v) v))
+        series;
+      if i < List.length x_labels - 1 then Buffer.add_char buf '\n')
+    x_labels;
+  Buffer.contents buf
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | values ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let levels = [| '_'; '.'; '-'; '~'; '^' |] in
+      let pick v =
+        if hi -. lo < 1e-12 then levels.(2)
+        else begin
+          let idx =
+            int_of_float ((v -. lo) /. (hi -. lo) *. 4.0 +. 0.5)
+          in
+          levels.(max 0 (min 4 idx))
+        end
+      in
+      String.init (List.length values) (fun i -> pick (List.nth values i))

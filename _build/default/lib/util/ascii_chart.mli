@@ -1,0 +1,18 @@
+(** Tiny ASCII charts used to render the paper's figures in text form.
+
+    Every figure of the evaluation section (Fig. 6a, 6c, 6d) is a small
+    grouped series of percentages over 3-4 x positions, so grouped bar
+    charts are the natural text rendering. *)
+
+type series = { label : string; values : float list }
+
+val bar_chart :
+  ?width:int -> title:string -> x_labels:string list -> series list -> string
+(** [bar_chart ~title ~x_labels series] renders one horizontal bar per
+    (x, series) pair, scaled to [width] characters (default 50) for the
+    value 100.  All series must have [List.length x_labels] values;
+    raises [Invalid_argument] otherwise. *)
+
+val sparkline : float list -> string
+(** One-line sketch of a numeric series using block characters
+    (["_.-~^"] levels in pure ASCII). *)

@@ -1,0 +1,18 @@
+(** Minimal CSV writer for exporting experiment data series.
+
+    Only writing is needed: the harness dumps every reproduced table and
+    figure as CSV next to the textual report so that plots can be drawn
+    offline.  Fields containing commas, quotes or newlines are quoted
+    per RFC 4180. *)
+
+val escape_field : string -> string
+(** Quote a single field if needed. *)
+
+val row_to_string : string list -> string
+(** One CSV line, without the trailing newline. *)
+
+val to_string : string list list -> string
+(** Full document with ["\n"] line termination. *)
+
+val write_file : string -> string list list -> unit
+(** [write_file path rows] writes (or overwrites) [path]. *)

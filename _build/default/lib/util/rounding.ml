@@ -1,0 +1,21 @@
+let grain = 1e-11
+
+let inv_grain = 1e11
+
+(* Binary float arithmetic introduces absolute errors around 1e-16 per
+   operation on quantities of order one; scaled by 1e11 that is ~1e-5
+   grain units.  The paper's rounding is decimal, so a value sitting
+   exactly on a grain boundary must not be pushed to the neighbouring
+   grain by such noise — but the slop must stay small enough that a
+   genuinely positive sub-grain probability still rounds *up* to one
+   grain (pessimism).  1e-4 grain units covers the noise with two orders
+   of margin while remaining 1e-15 in absolute terms. *)
+let slop = 1e-4
+
+let down x = Float.of_int (int_of_float (Float.floor ((x *. inv_grain) +. slop))) *. grain
+
+let up x = Float.of_int (int_of_float (Float.ceil ((x *. inv_grain) -. slop))) *. grain
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let is_probability x = Float.is_finite x && x >= 0.0 && x <= 1.0

@@ -1,0 +1,25 @@
+(** Directed ("pessimistic") rounding of probabilities.
+
+    Appendix A of the paper rounds every intermediate probability at a
+    grain of 10^-11: success probabilities are rounded {e down} and
+    failure probabilities {e up}, so that the computed system failure
+    probability is never optimistic.  This module centralizes that
+    contract. *)
+
+val grain : float
+(** The rounding grain, 1e-11. *)
+
+val down : float -> float
+(** [down x] is the largest multiple of {!grain} not exceeding [x].
+    Used for success probabilities (e.g. Pr(0; Njh)). *)
+
+val up : float -> float
+(** [up x] is the smallest multiple of {!grain} not below [x].  Used for
+    failure probabilities (e.g. Pr(f > kj; Njh)). *)
+
+val clamp01 : float -> float
+(** Clamp to the closed unit interval; guards against the -1e-22-style
+    negatives produced by float cancellation. *)
+
+val is_probability : float -> bool
+(** [is_probability x] is [true] iff [0. <= x <= 1.] and [x] is finite. *)

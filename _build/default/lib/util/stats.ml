@@ -1,0 +1,63 @@
+type running = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let running_create () =
+  { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let running_add r x =
+  r.count <- r.count + 1;
+  let delta = x -. r.mean in
+  r.mean <- r.mean +. (delta /. float_of_int r.count);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mean));
+  if x < r.min then r.min <- x;
+  if x > r.max then r.max <- x
+
+let running_count r = r.count
+let running_mean r = r.mean
+
+let running_variance r =
+  if r.count < 2 then 0.0 else r.m2 /. float_of_int (r.count - 1)
+
+let running_stddev r = sqrt (running_variance r)
+let running_min r = r.min
+let running_max r = r.max
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs q =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let pos = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = int_of_float (Float.ceil pos) in
+      if lo = hi then a.(lo)
+      else begin
+        let w = pos -. float_of_int lo in
+        (a.(lo) *. (1.0 -. w)) +. (a.(hi) *. w)
+      end
+
+let binomial_confidence ~successes ~trials =
+  if trials <= 0 then (0.0, 1.0)
+  else begin
+    let z = 1.959963984540054 in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end

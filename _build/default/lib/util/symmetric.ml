@@ -1,0 +1,79 @@
+let complete_homogeneous p k =
+  if k < 0 then invalid_arg "Symmetric.complete_homogeneous: negative degree";
+  let h = Array.make (k + 1) 0.0 in
+  h.(0) <- 1.0;
+  (* Incorporate one variable at a time:
+     with variables p_1..p_j,  h_f = h_f(without p_j) + p_j * h_{f-1}(with p_j).
+     Processing f in increasing order realizes both terms in place. *)
+  Array.iter
+    (fun pj ->
+      for f = 1 to k do
+        h.(f) <- h.(f) +. (pj *. h.(f - 1))
+      done)
+    p;
+  h
+
+let fold_multisets ~n ~f ~init step =
+  if n < 0 || f < 0 then invalid_arg "Symmetric.fold_multisets: negative size";
+  if n = 0 then (if f = 0 then step init [||] else init)
+  else begin
+    let m = Array.make n 0 in
+    (* Enumerate multiplicity vectors recursively: position [i] receives
+       between 0 and [remaining] faults; the last position takes the rest. *)
+    let rec go acc i remaining =
+      if i = n - 1 then begin
+        m.(i) <- remaining;
+        step acc m
+      end
+      else begin
+        let acc = ref acc in
+        for c = 0 to remaining do
+          m.(i) <- c;
+          acc := go !acc (i + 1) (remaining - c)
+        done;
+        m.(i) <- 0;
+        !acc
+      end
+    in
+    go init 0 f
+  end
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec loop acc i =
+      if i > k then acc
+      else begin
+        let num = n - k + i in
+        if acc > max_int / num then
+          invalid_arg "Symmetric.binomial: overflow"
+        else loop (acc * num / i) (i + 1)
+      end
+    in
+    loop 1 1
+  end
+
+let count_multisets ~n ~f =
+  if n < 0 || f < 0 then invalid_arg "Symmetric.count_multisets: negative size";
+  if n = 0 then (if f = 0 then 1 else 0)
+  else binomial (n + f - 1) f
+
+(* Stirling-series approximation of ln Gamma(x), accurate to ~1e-10 for
+   x >= 8; smaller arguments are lifted by the recurrence
+   lgamma x = lgamma (x+1) - ln x. *)
+let rec lgamma x =
+  if x < 8.0 then lgamma (x +. 1.0) -. log x
+  else
+    let inv = 1.0 /. x in
+    let inv2 = inv *. inv in
+    let series =
+      inv
+      *. (1.0 /. 12.0
+         +. (inv2 *. (-1.0 /. 360.0 +. (inv2 *. (1.0 /. 1260.0 +. (inv2 *. -1.0 /. 1680.0))))))
+    in
+    ((x -. 0.5) *. log x) -. x +. (0.5 *. log (2.0 *. Float.pi)) +. series
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Symmetric.log_factorial: negative argument";
+  if n <= 1 then 0.0 else lgamma (float_of_int n +. 1.0)

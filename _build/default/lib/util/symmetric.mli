@@ -1,0 +1,34 @@
+(** Sums over multisets of failure probabilities.
+
+    Formula (3) of the paper sums, over every combination with
+    repetitions of [f] faults among the processes mapped on a node, the
+    product of the selected processes' failure probabilities.  That sum
+    is exactly the complete homogeneous symmetric polynomial h_f of the
+    probability vector.  This module provides an O(n·k) dynamic program
+    for h_0 .. h_k, plus an explicit multiset enumerator used to
+    cross-check the DP in tests. *)
+
+val complete_homogeneous : float array -> int -> float array
+(** [complete_homogeneous p k] is [[| h_0 p; h_1 p; ...; h_k p |]] where
+    [h_f p] is the sum over all multisets of size [f] drawn from the
+    entries of [p] of the product of the selected entries (an entry may
+    be selected several times).  [h_0 = 1.]  Raises [Invalid_argument]
+    on negative [k]. *)
+
+val fold_multisets : n:int -> f:int -> init:'a -> ('a -> int array -> 'a) -> 'a
+(** [fold_multisets ~n ~f ~init step] folds [step] over every
+    multiplicity vector [m] of length [n] with [sum m = f] (every
+    f-fault scenario over [n] processes).  The array passed to [step] is
+    reused; callers must not retain it. *)
+
+val count_multisets : n:int -> f:int -> int
+(** Number of multisets of size [f] over [n] elements,
+    C(n + f - 1, f).  Raises [Invalid_argument] if the count overflows
+    the native integer range. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n, k); 0 when [k < 0] or [k > n].  Raises
+    [Invalid_argument] on overflow. *)
+
+val log_factorial : int -> float
+(** Natural log of n!, by Lgamma; used by statistics helpers. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ftes_core Ftes_gen Ftes_model Fun Printf String

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Array Ftes_cc Ftes_core Ftes_model Ftes_sched Ftes_sfp List Printf

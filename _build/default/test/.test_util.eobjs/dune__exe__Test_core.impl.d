@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Ftes_cc Ftes_core Ftes_gen Ftes_model Ftes_sched Ftes_sfp Helpers List Option Printf

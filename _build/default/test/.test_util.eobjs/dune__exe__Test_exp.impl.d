@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Ftes_core Ftes_exp Ftes_gen Helpers Lazy List

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Float Ftes_gen Ftes_model Ftes_util List Printf QCheck QCheck_alcotest

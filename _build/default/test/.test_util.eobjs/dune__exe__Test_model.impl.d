@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Filename Float Format Ftes_cc Ftes_gen Ftes_model Ftes_util Fun Helpers List Option QCheck QCheck_alcotest Result String Sys

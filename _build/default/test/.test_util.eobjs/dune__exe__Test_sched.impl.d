@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Ftes_cc Ftes_model Ftes_sched Ftes_util Fun Helpers List Printf QCheck QCheck_alcotest

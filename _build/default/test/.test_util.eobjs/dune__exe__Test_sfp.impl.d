@@ -1,0 +1,1 @@
+test/test_sfp.ml: Alcotest Array Float Ftes_cc Ftes_core Ftes_model Ftes_sfp Gen Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Filename Float Ftes_util Fun Gen Helpers List Printf QCheck QCheck_alcotest Result String Sys

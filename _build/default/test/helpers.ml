@@ -1,0 +1,32 @@
+(* Shared helpers for the test-suite. *)
+
+let contains s affix =
+  let n = String.length s and m = String.length affix in
+  let rec scan i = i + m <= n && (String.sub s i m = affix || scan (i + 1)) in
+  m = 0 || scan 0
+
+let check_contains name s affix =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: output contains %S" name affix)
+    true (contains s affix)
+
+(* A tiny deterministic problem factory used across suites: [n] processes
+   in a random DAG over a library of [lib] nodes with [levels]
+   h-versions. *)
+let synthetic_problem ?(seed = 1234) ?(n = 12) ?(ser = 1e-11) ?(hpd = 0.25) ()
+    =
+  let spec =
+    Ftes_gen.Workload.generate_spec ~seed ~index:0 ~n_processes:n ()
+  in
+  Ftes_gen.Workload.problem_of_spec { Ftes_gen.Workload.ser; hpd } spec
+
+let design_on_all_nodes ?(levels = 1) ?(k = 0) problem =
+  let m = Ftes_model.Problem.n_library problem in
+  let members = Array.init m Fun.id in
+  let mapping =
+    Ftes_core.Mapping_opt.initial_mapping ~config:Ftes_core.Config.default
+      problem ~members
+  in
+  Ftes_model.Design.make problem ~members
+    ~levels:(Array.make m levels)
+    ~reexecs:(Array.make m k) ~mapping

@@ -1,0 +1,178 @@
+(* Tests for the built-in case studies: the Fig. 1/3/4 data and the
+   32-process cruise controller.  The cruise-controller section pins the
+   paper's qualitative result: MIN unschedulable, MAX and OPT
+   schedulable, OPT far cheaper than MAX. *)
+
+module CC = Ftes_cc.Cruise_control
+module Fig = Ftes_cc.Fig_examples
+module Config = Ftes_core.Config
+module Design = Ftes_model.Design
+module Design_strategy = Ftes_core.Design_strategy
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Problem = Ftes_model.Problem
+module Task_graph = Ftes_model.Task_graph
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Fig. 1 data --- *)
+
+let test_fig1_tables () =
+  let p = Fig.fig1_problem () in
+  Alcotest.(check int) "two node types" 2 (Problem.n_library p);
+  check_float "N1 h1 cost" 16.0 (Problem.cost p ~node:0 ~level:1);
+  check_float "N1 h3 cost" 64.0 (Problem.cost p ~node:0 ~level:3);
+  check_float "N2 h2 cost" 40.0 (Problem.cost p ~node:1 ~level:2);
+  check_float "t(P2, N1, h2)" 90.0 (Problem.wcet p ~node:0 ~level:2 ~proc:1);
+  check_float "p(P4, N1, h1)" 1.6e-3 (Problem.pfail p ~node:0 ~level:1 ~proc:3);
+  check_float "t(P1, N2, h1)" 50.0 (Problem.wcet p ~node:1 ~level:1 ~proc:0);
+  check_float "p(P1, N2, h3)" 1e-10 (Problem.pfail p ~node:1 ~level:3 ~proc:0)
+
+let test_fig1_graph_is_diamond () =
+  let p = Fig.fig1_problem () in
+  let g = Problem.graph p in
+  Alcotest.(check int) "4 processes" 4 (Task_graph.n g);
+  Alcotest.(check (list int)) "P1 is the source" [ 0 ] (Task_graph.sources g);
+  Alcotest.(check (list int)) "P4 is the sink" [ 3 ] (Task_graph.sinks g)
+
+let test_fig4_designs_valid () =
+  let p = Fig.fig1_problem () in
+  List.iter
+    (fun (name, d) ->
+      Alcotest.(check bool) name true (Design.validate p d = Ok ()))
+    [ ("4a", Fig.fig4a p); ("4b", Fig.fig4b p); ("4c", Fig.fig4c p);
+      ("4d", Fig.fig4d p); ("4e", Fig.fig4e p) ]
+
+let test_fig4_costs () =
+  let p = Fig.fig1_problem () in
+  check_float "Ca = 72" 72.0 (Design.cost p (Fig.fig4a p));
+  check_float "Cb = 32" 32.0 (Design.cost p (Fig.fig4b p));
+  check_float "Cc = 40" 40.0 (Design.cost p (Fig.fig4c p));
+  check_float "Cd = 64" 64.0 (Design.cost p (Fig.fig4d p));
+  check_float "Ce = 80" 80.0 (Design.cost p (Fig.fig4e p))
+
+let test_fig3_table () =
+  let p = Fig.fig3_problem () in
+  check_float "h1 WCET" 80.0 (Problem.wcet p ~node:0 ~level:1 ~proc:0);
+  check_float "h2 WCET" 100.0 (Problem.wcet p ~node:0 ~level:2 ~proc:0);
+  check_float "h3 WCET" 160.0 (Problem.wcet p ~node:0 ~level:3 ~proc:0);
+  check_float "h1 pfail" 4e-2 (Problem.pfail p ~node:0 ~level:1 ~proc:0);
+  check_float "h1 cost" 10.0 (Problem.cost p ~node:0 ~level:1)
+
+(* --- Cruise controller --- *)
+
+let test_cc_shape () =
+  let p = CC.problem () in
+  Alcotest.(check int) "32 processes" 32 (Problem.n_processes p);
+  Alcotest.(check int) "3 modules" 3 (Problem.n_library p);
+  Alcotest.(check int) "5 h-versions" 5 (Problem.levels p 0);
+  Alcotest.(check string) "node names" "ETM"
+    (Problem.node p 0).Ftes_model.Platform.node_name;
+  check_float "deadline 300 ms" 300.0 p.Problem.app.Ftes_model.Application.deadline_ms;
+  check_float "gamma 1.2e-5" 1.2e-5 p.Problem.app.Ftes_model.Application.gamma
+
+let test_cc_graph () =
+  let g = CC.graph () in
+  Alcotest.(check int) "32 nodes" 32 (Task_graph.n g);
+  Alcotest.(check bool) "has meaningful structure" true (Task_graph.n_edges g > 30);
+  (* The wheel sensors feed the filter. *)
+  let filter = 11 in
+  Alcotest.(check int) "wheel filter fans in" 4 (Task_graph.in_degree g filter)
+
+let test_cc_affinity () =
+  let p = CC.problem () in
+  (* throttle_sensor (proc 0) is an ETM process: 1.5x slower elsewhere. *)
+  let home = Problem.wcet p ~node:0 ~level:1 ~proc:0 in
+  let away = Problem.wcet p ~node:1 ~level:1 ~proc:0 in
+  check_float "off-home penalty" (home *. 1.5) away;
+  (* driver_buttons (proc 23) is a core process: same everywhere. *)
+  check_float "core process uniform"
+    (Problem.wcet p ~node:0 ~level:1 ~proc:23)
+    (Problem.wcet p ~node:2 ~level:1 ~proc:23)
+
+let test_cc_deterministic () =
+  let a = CC.problem () and b = CC.problem () in
+  check_float "same table entry"
+    (Problem.wcet a ~node:1 ~level:3 ~proc:12)
+    (Problem.wcet b ~node:1 ~level:3 ~proc:12)
+
+let cc_solution config = Design_strategy.run ~config (CC.problem ())
+
+let test_cc_min_unschedulable () =
+  Alcotest.(check bool) "MIN fails on the CC (paper)" true
+    (cc_solution Config.min_strategy = None)
+
+let test_cc_max_schedulable () =
+  match cc_solution Config.max_strategy with
+  | None -> Alcotest.fail "MAX must be schedulable (paper)"
+  | Some s ->
+      check_float "MAX uses all three nodes at h=5, cost 80" 80.0
+        s.Design_strategy.result.Redundancy_opt.cost
+
+let test_cc_opt_story () =
+  match (cc_solution Config.default, cc_solution Config.max_strategy) with
+  | Some opt, Some max_ ->
+      let co = opt.Design_strategy.result.Redundancy_opt.cost in
+      let cm = max_.Design_strategy.result.Redundancy_opt.cost in
+      let saving = (cm -. co) /. cm in
+      Alcotest.(check bool)
+        (Printf.sprintf "OPT saves %.0f%% vs MAX (paper: 66%%)" (100. *. saving))
+        true
+        (saving >= 0.55 && saving <= 0.75);
+      Alcotest.(check bool) "OPT verdict meets the goal" true
+        opt.Design_strategy.verdict.Ftes_sfp.Sfp.meets_goal;
+      Alcotest.(check bool) "OPT is schedulable" true
+        (Ftes_sched.Schedule.length opt.Design_strategy.schedule <= 300.0 +. 1e-9)
+  | None, _ -> Alcotest.fail "OPT must be feasible on the CC"
+  | _, None -> Alcotest.fail "MAX must be feasible on the CC"
+
+let test_cc_opt_mixes_levels () =
+  match cc_solution Config.default with
+  | None -> Alcotest.fail "OPT feasible"
+  | Some s ->
+      let levels = s.Design_strategy.result.Redundancy_opt.design.Design.levels in
+      let reexecs = s.Design_strategy.result.Redundancy_opt.design.Design.reexecs in
+      Alcotest.(check bool) "uses intermediate hardening" true
+        (Array.exists (fun h -> h > 1 && h < 5) levels);
+      Alcotest.(check bool) "uses software re-execution" true
+        (Array.exists (fun k -> k > 0) reexecs)
+
+let test_cc_schedule_valid () =
+  match cc_solution Config.default with
+  | None -> Alcotest.fail "OPT feasible"
+  | Some s -> (
+      let p = CC.problem () in
+      let d = s.Design_strategy.result.Redundancy_opt.design in
+      match Ftes_sched.Schedule.validate p d s.Design_strategy.schedule with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "invalid CC schedule: %s" msg)
+
+let test_cc_process_names () =
+  Alcotest.(check int) "32 names" 32 (Array.length CC.process_names);
+  let p = CC.problem () in
+  Alcotest.(check string) "first process" "throttle_sensor"
+    (Ftes_model.Application.process_name p.Problem.app 0);
+  Alcotest.(check string) "last process" "logger"
+    (Ftes_model.Application.process_name p.Problem.app 31)
+
+let () =
+  Alcotest.run "ftes_cc"
+    [ ( "fig_examples",
+        [ Alcotest.test_case "fig1 tables" `Quick test_fig1_tables;
+          Alcotest.test_case "fig1 graph" `Quick test_fig1_graph_is_diamond;
+          Alcotest.test_case "fig4 designs valid" `Quick test_fig4_designs_valid;
+          Alcotest.test_case "fig4 costs" `Quick test_fig4_costs;
+          Alcotest.test_case "fig3 table" `Quick test_fig3_table ] );
+      ( "cruise_control",
+        [ Alcotest.test_case "shape" `Quick test_cc_shape;
+          Alcotest.test_case "graph" `Quick test_cc_graph;
+          Alcotest.test_case "affinity" `Quick test_cc_affinity;
+          Alcotest.test_case "deterministic" `Quick test_cc_deterministic;
+          Alcotest.test_case "process names" `Quick test_cc_process_names ] );
+      ( "case study",
+        [ Alcotest.test_case "MIN unschedulable" `Quick test_cc_min_unschedulable;
+          Alcotest.test_case "MAX schedulable at cost 80" `Quick
+            test_cc_max_schedulable;
+          Alcotest.test_case "OPT ~66% cheaper" `Quick test_cc_opt_story;
+          Alcotest.test_case "OPT mixes hardware and software" `Quick
+            test_cc_opt_mixes_levels;
+          Alcotest.test_case "OPT schedule validates" `Quick test_cc_schedule_valid ] ) ]

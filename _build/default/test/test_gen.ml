@@ -1,0 +1,276 @@
+(* Tests for the synthetic workload generators (Section 7 recipe). *)
+
+module Dag_gen = Ftes_gen.Dag_gen
+module Platform_gen = Ftes_gen.Platform_gen
+module Workload = Ftes_gen.Workload
+module Task_graph = Ftes_model.Task_graph
+module Platform = Ftes_model.Platform
+module Problem = Ftes_model.Problem
+module Prng = Ftes_util.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Dag_gen --- *)
+
+let test_dag_size () =
+  let g = Dag_gen.generate (Prng.create 1) (Dag_gen.default_params ~n:20) in
+  Alcotest.(check int) "20 processes" 20 (Task_graph.n g)
+
+let test_dag_deterministic () =
+  let gen seed = Dag_gen.generate (Prng.create seed) (Dag_gen.default_params ~n:15) in
+  let a = gen 7 and b = gen 7 in
+  Alcotest.(check int) "same edge count" (Task_graph.n_edges a) (Task_graph.n_edges b);
+  Alcotest.(check bool) "same edges" true
+    (List.map (fun (e : Task_graph.edge) -> (e.src, e.dst)) (Task_graph.edges a)
+    = List.map (fun (e : Task_graph.edge) -> (e.src, e.dst)) (Task_graph.edges b))
+
+let test_dag_seed_sensitivity () =
+  let gen seed = Dag_gen.generate (Prng.create seed) (Dag_gen.default_params ~n:15) in
+  let edges g =
+    List.map (fun (e : Task_graph.edge) -> (e.src, e.dst)) (Task_graph.edges g)
+  in
+  Alcotest.(check bool) "different seeds differ" false (edges (gen 1) = edges (gen 2))
+
+let test_dag_connected_beyond_first_layer () =
+  (* Every non-source process has at least one predecessor by
+     construction; equivalently, the number of sources is bounded by the
+     first layer's width. *)
+  let params = Dag_gen.default_params ~n:25 in
+  let g = Dag_gen.generate (Prng.create 3) params in
+  Alcotest.(check bool) "few sources" true
+    (List.length (Task_graph.sources g) <= params.Dag_gen.width + 1)
+
+let test_dag_transmission_range () =
+  let params = Dag_gen.default_params ~n:20 in
+  let lo, hi = params.Dag_gen.transmission_ms_range in
+  let g = Dag_gen.generate (Prng.create 4) params in
+  List.iter
+    (fun (e : Task_graph.edge) ->
+      Alcotest.(check bool) "transmission in range" true
+        (e.transmission_ms >= lo && e.transmission_ms <= hi))
+    (Task_graph.edges g)
+
+let test_dag_validation () =
+  let invalid msg f =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  invalid "Dag_gen.generate: n must be positive" (fun () ->
+      Dag_gen.generate (Prng.create 1) { (Dag_gen.default_params ~n:5) with Dag_gen.n = 0 });
+  invalid "Dag_gen.generate: width must be positive" (fun () ->
+      Dag_gen.generate (Prng.create 1)
+        { (Dag_gen.default_params ~n:5) with Dag_gen.width = 0 });
+  invalid "Dag_gen.generate: bad transmission range" (fun () ->
+      Dag_gen.generate (Prng.create 1)
+        { (Dag_gen.default_params ~n:5) with Dag_gen.transmission_ms_range = (2.0, 1.0) })
+
+(* --- Platform_gen --- *)
+
+let sample_node ?(hpd = 0.25) ?(ser = 1e-11) () =
+  let tech = Platform_gen.tech ~ser_per_cycle:ser () in
+  Platform_gen.node_type ~tech ~hpd
+    ~base_wcets_ms:[| 5.0; 10.0; 20.0 |]
+    { Platform_gen.name = "N"; base_cost = 3.0; speed = 1.2; levels = 5 }
+
+let test_platform_gen_shape () =
+  let nt = sample_node () in
+  Alcotest.(check int) "5 levels" 5 (Platform.levels nt);
+  Alcotest.(check int) "3 processes" 3 (Platform.n_processes nt)
+
+let test_platform_gen_wcet_monotone () =
+  let nt = sample_node ~hpd:1.0 () in
+  for level = 2 to 5 do
+    let prev = (Platform.version nt ~level:(level - 1)).Platform.wcet_ms in
+    let cur = (Platform.version nt ~level).Platform.wcet_ms in
+    Array.iteri
+      (fun i t ->
+        Alcotest.(check bool) "WCET grows with hardening" true (t >= prev.(i)))
+      cur
+  done
+
+let test_platform_gen_pfail_scaling () =
+  let nt = sample_node () in
+  let p1 = (Platform.version nt ~level:1).Platform.pfail.(0) in
+  let p2 = (Platform.version nt ~level:2).Platform.pfail.(0) in
+  (* One hardening level divides the rate by ~100 (modulo the small WCET
+     degradation increase). *)
+  Alcotest.(check bool) "two orders of magnitude" true
+    (p1 /. p2 > 80.0 && p1 /. p2 < 120.0)
+
+let test_platform_gen_costs_linear () =
+  let nt = sample_node () in
+  List.iter
+    (fun level ->
+      check_float
+        (Printf.sprintf "cost at level %d" level)
+        (3.0 *. float_of_int level)
+        (Platform.version nt ~level).Platform.cost)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_platform_gen_speed_factor () =
+  let nt = sample_node () in
+  (* base 5 ms * speed 1.2 * (1 + 1%) at level 1 *)
+  check_float "speed multiplies WCET" (5.0 *. 1.2 *. 1.01)
+    (Platform.version nt ~level:1).Platform.wcet_ms.(0)
+
+(* --- Workload --- *)
+
+let test_spec_deterministic () =
+  let a = Workload.generate_spec ~seed:11 ~index:2 ~n_processes:20 () in
+  let b = Workload.generate_spec ~seed:11 ~index:2 ~n_processes:20 () in
+  check_float "same deadline" a.Workload.deadline_ms b.Workload.deadline_ms;
+  check_float "same gamma" a.Workload.gamma b.Workload.gamma;
+  Alcotest.(check (array (float 1e-12))) "same WCETs" a.Workload.base_wcets_ms
+    b.Workload.base_wcets_ms
+
+let test_spec_parameter_ranges () =
+  let params = Workload.default_params in
+  let spec = Workload.generate_spec ~seed:13 ~index:5 ~n_processes:20 () in
+  let lo_w, hi_w = params.Workload.base_wcet_range in
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "WCET 1-20 ms" true (w >= lo_w && w <= hi_w))
+    spec.Workload.base_wcets_ms;
+  let lo_g, hi_g = params.Workload.gamma_range in
+  Alcotest.(check bool) "gamma range" true
+    (spec.Workload.gamma >= lo_g && spec.Workload.gamma <= hi_g);
+  let mean =
+    Array.fold_left ( +. ) 0.0 spec.Workload.base_wcets_ms /. 20.0
+  in
+  Alcotest.(check bool) "mu is 1-10% of the mean WCET" true
+    (spec.Workload.mu_ms >= 0.01 *. mean && spec.Workload.mu_ms <= 0.10 *. mean)
+
+let test_deadline_cell_independent () =
+  (* The paper requires deadlines independent of SER and HPD: the same
+     spec expands to problems with identical deadlines in every cell. *)
+  let spec = Workload.generate_spec ~seed:17 ~index:1 ~n_processes:20 () in
+  let deadline cell =
+    (Workload.problem_of_spec cell spec).Problem.app
+      .Ftes_model.Application.deadline_ms
+  in
+  let cells =
+    [ { Workload.ser = 1e-12; hpd = 0.05 };
+      { Workload.ser = 1e-10; hpd = 0.05 };
+      { Workload.ser = 1e-11; hpd = 1.0 } ]
+  in
+  let d0 = deadline (List.hd cells) in
+  List.iter (fun cell -> check_float "same deadline" d0 (deadline cell)) cells
+
+let test_problem_of_spec_valid () =
+  let spec = Workload.generate_spec ~seed:19 ~index:0 ~n_processes:20 () in
+  let problem =
+    Workload.problem_of_spec { Workload.ser = 1e-10; hpd = 1.0 } spec
+  in
+  Alcotest.(check int) "library size" 4 (Problem.n_library problem);
+  Alcotest.(check int) "processes" 20 (Problem.n_processes problem);
+  (* All probabilities are sane even in the worst cell. *)
+  for j = 0 to Problem.n_library problem - 1 do
+    for level = 1 to Problem.levels problem j do
+      for proc = 0 to 19 do
+        let p = Problem.pfail problem ~node:j ~level ~proc in
+        Alcotest.(check bool) "pfail in [0,1)" true (p >= 0.0 && p < 1.0)
+      done
+    done
+  done
+
+let test_paper_suite_shape () =
+  let specs = Workload.paper_suite ~count:10 ~seed:23 () in
+  Alcotest.(check int) "count" 10 (List.length specs);
+  let sizes = List.map (fun s -> s.Workload.n_processes) specs in
+  Alcotest.(check (list int)) "half 20, half 40"
+    [ 20; 20; 20; 20; 20; 40; 40; 40; 40; 40 ] sizes
+
+let test_ser_scales_pfail () =
+  let spec = Workload.generate_spec ~seed:29 ~index:0 ~n_processes:20 () in
+  let p_of ser =
+    let problem = Workload.problem_of_spec { Workload.ser; hpd = 0.05 } spec in
+    Problem.pfail problem ~node:0 ~level:1 ~proc:0
+  in
+  let ratio = p_of 1e-10 /. p_of 1e-11 in
+  Alcotest.(check bool) "10x SER ~ 10x pfail" true (ratio > 9.9 && ratio < 10.1)
+
+let test_hpd_scales_wcet () =
+  let spec = Workload.generate_spec ~seed:31 ~index:0 ~n_processes:20 () in
+  let w_of hpd level =
+    let problem = Workload.problem_of_spec { Workload.ser = 1e-11; hpd } spec in
+    Problem.wcet problem ~node:0 ~level ~proc:0
+  in
+  (* Level 1 always degrades by 1%, independent of HPD. *)
+  check_float "level 1 is HPD-independent" (w_of 0.05 1) (w_of 1.0 1);
+  (* At the top level the degradation equals the HPD. *)
+  let base = w_of 1.0 1 /. 1.01 in
+  check_float "top level at HPD=100%" (base *. 2.0) (w_of 1.0 5)
+
+(* --- Properties --- *)
+
+let prop_problem_tables_well_formed =
+  QCheck.Test.make ~count:40 ~name:"generated problems satisfy every invariant"
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let spec = Workload.generate_spec ~seed ~index:0 ~n_processes:12 () in
+      (* The checked constructors in problem_of_spec raise on any
+         violation (monotone costs, pfail in range, consistent sizes);
+         reaching this point is the property. *)
+      let problem =
+        Workload.problem_of_spec { Workload.ser = 1e-10; hpd = 1.0 } spec
+      in
+      Problem.n_processes problem = 12 && Problem.n_library problem = 4)
+
+let prop_wcet_grows_with_level =
+  QCheck.Test.make ~count:40 ~name:"WCET is non-decreasing in the hardening level"
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let spec = Workload.generate_spec ~seed ~index:1 ~n_processes:10 () in
+      let problem =
+        Workload.problem_of_spec { Workload.ser = 1e-11; hpd = 0.5 } spec
+      in
+      let ok = ref true in
+      for j = 0 to Problem.n_library problem - 1 do
+        for level = 2 to Problem.levels problem j do
+          for proc = 0 to 9 do
+            if
+              Problem.wcet problem ~node:j ~level ~proc
+              < Problem.wcet problem ~node:j ~level:(level - 1) ~proc -. 1e-12
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_deadline_positive_and_reachable =
+  QCheck.Test.make ~count:40 ~name:"deadlines exceed the no-fault anchor"
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let spec = Workload.generate_spec ~seed ~index:2 ~n_processes:10 () in
+      spec.Workload.deadline_ms > 0.0
+      && Float.is_finite spec.Workload.deadline_ms)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ftes_gen"
+    [ ( "dag_gen",
+        [ Alcotest.test_case "size" `Quick test_dag_size;
+          Alcotest.test_case "deterministic" `Quick test_dag_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_dag_seed_sensitivity;
+          Alcotest.test_case "connectivity" `Quick test_dag_connected_beyond_first_layer;
+          Alcotest.test_case "transmission range" `Quick test_dag_transmission_range;
+          Alcotest.test_case "validation" `Quick test_dag_validation ] );
+      ( "platform_gen",
+        [ Alcotest.test_case "shape" `Quick test_platform_gen_shape;
+          Alcotest.test_case "WCET monotone" `Quick test_platform_gen_wcet_monotone;
+          Alcotest.test_case "pfail scaling" `Quick test_platform_gen_pfail_scaling;
+          Alcotest.test_case "linear costs" `Quick test_platform_gen_costs_linear;
+          Alcotest.test_case "speed factor" `Quick test_platform_gen_speed_factor ] );
+      ( "workload",
+        [ Alcotest.test_case "deterministic" `Quick test_spec_deterministic;
+          Alcotest.test_case "parameter ranges" `Quick test_spec_parameter_ranges;
+          Alcotest.test_case "deadline cell-independent" `Quick
+            test_deadline_cell_independent;
+          Alcotest.test_case "problems valid in worst cell" `Quick
+            test_problem_of_spec_valid;
+          Alcotest.test_case "suite shape" `Quick test_paper_suite_shape;
+          Alcotest.test_case "SER scales pfail" `Quick test_ser_scales_pfail;
+          Alcotest.test_case "HPD scales WCET" `Quick test_hpd_scales_wcet ] );
+      ( "properties",
+        [ q prop_problem_tables_well_formed;
+          q prop_wcet_grows_with_level;
+          q prop_deadline_positive_and_reachable ] ) ]

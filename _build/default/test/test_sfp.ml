@@ -1,0 +1,366 @@
+(* Tests for the System Failure Probability analysis (Appendix A),
+   including the paper's worked example A.2 and the Fig. 3 re-execution
+   counts. *)
+
+module Sfp = Ftes_sfp.Sfp
+module Design = Ftes_model.Design
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_close eps = Alcotest.(check (float eps))
+
+let test_pr_zero_empty () =
+  let a = Sfp.node_analysis [||] in
+  check_float "no processes -> never fails" 1.0 (Sfp.pr_zero a);
+  check_float "exceedance is zero" 0.0 (Sfp.pr_exceeds a ~k:0)
+
+let test_pr_zero_known () =
+  (* The Appendix A.2 value. *)
+  let a = Sfp.node_analysis [| 1.2e-5; 1.3e-5 |] in
+  check_float "Pr(0; N1^2)" 0.99997500015 (Sfp.pr_zero a)
+
+let test_pr_faults_single_process () =
+  let p = 0.04 in
+  let a = Sfp.node_analysis [| p |] in
+  (* With one process, the f-fault recovery probability is Pr(0)*p^f. *)
+  let pr0 = Sfp.pr_zero a in
+  check_close 1e-11 "f=1" (pr0 *. p) (Sfp.pr_faults a ~f:1);
+  check_close 1e-11 "f=2" (pr0 *. p *. p) (Sfp.pr_faults a ~f:2)
+
+let test_pr_faults_bounds () =
+  let a = Sfp.node_analysis [| 0.1 |] in
+  Alcotest.check_raises "negative f" (Invalid_argument "Sfp.pr_faults: f out of range")
+    (fun () -> ignore (Sfp.pr_faults a ~f:(-1)));
+  Alcotest.check_raises "beyond kmax" (Invalid_argument "Sfp.pr_faults: f out of range")
+    (fun () -> ignore (Sfp.pr_faults a ~f:(Sfp.kmax a + 1)))
+
+let test_node_analysis_validation () =
+  Alcotest.check_raises "probability 1 rejected"
+    (Invalid_argument "Sfp.node_analysis: probabilities must lie in [0, 1)")
+    (fun () -> ignore (Sfp.node_analysis [| 1.0 |]));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Sfp.node_analysis: probabilities must lie in [0, 1)")
+    (fun () -> ignore (Sfp.node_analysis [| -0.1 |]));
+  Alcotest.check_raises "negative kmax"
+    (Invalid_argument "Sfp.node_analysis: negative kmax") (fun () ->
+      ignore (Sfp.node_analysis ~kmax:(-1) [| 0.1 |]))
+
+let test_pr_exceeds_k0 () =
+  (* With k = 0 the node fails as soon as any fault occurs. *)
+  let a = Sfp.node_analysis [| 1.2e-5; 1.3e-5 |] in
+  check_close 1e-11 "1 - Pr(0)" (1.0 -. 0.99997500015) (Sfp.pr_exceeds a ~k:0)
+
+let test_pr_exceeds_monotone () =
+  let a = Sfp.node_analysis [| 0.03; 0.02; 0.05 |] in
+  let rec check k prev =
+    if k <= Sfp.kmax a then begin
+      let v = Sfp.pr_exceeds a ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "decreasing at k=%d" k)
+        true (v <= prev +. 1e-15);
+      check (k + 1) v
+    end
+  in
+  check 1 (Sfp.pr_exceeds a ~k:0)
+
+let test_pr_exceeds_matches_enumeration () =
+  let probs = [| 0.01; 0.02; 0.005 |] in
+  let a = Sfp.node_analysis probs in
+  List.iter
+    (fun k ->
+      check_close 1e-12
+        (Printf.sprintf "k=%d" k)
+        (Sfp.pr_exceeds_enumerated probs ~k)
+        (Sfp.pr_exceeds a ~k))
+    [ 0; 1; 2; 3; 4 ]
+
+let prop_dp_equals_enumeration =
+  QCheck.Test.make ~count:100 ~name:"pr_exceeds DP = explicit enumeration"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 4) (float_bound_inclusive 0.2))
+        (int_bound 3))
+    (fun (ps, k) ->
+      let probs = Array.of_list ps in
+      let a = Sfp.node_analysis probs in
+      let dp = Sfp.pr_exceeds a ~k in
+      let brute = Sfp.pr_exceeds_enumerated probs ~k in
+      Float.abs (dp -. brute) <= 1e-10)
+
+let test_union_formula () =
+  let a1 = Sfp.node_analysis [| 0.1 |] and a2 = Sfp.node_analysis [| 0.2 |] in
+  let u = Sfp.system_failure_per_iteration [| a1; a2 |] ~k:[| 0; 0 |] in
+  (* 1 - (1-0.1)(1-0.2) = 0.28 *)
+  check_close 1e-9 "union of independent node failures" 0.28 u
+
+let test_union_length_mismatch () =
+  let a = Sfp.node_analysis [| 0.1 |] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Sfp.system_failure_per_iteration: length mismatch")
+    (fun () -> ignore (Sfp.system_failure_per_iteration [| a |] ~k:[| 0; 0 |]))
+
+let test_reliability_edge_cases () =
+  check_float "certain failure" 0.0
+    (Sfp.reliability ~per_iteration_failure:1.0 ~iterations_per_hour:10.0);
+  check_float "no failure" 1.0
+    (Sfp.reliability ~per_iteration_failure:0.0 ~iterations_per_hour:1e6);
+  let r =
+    Sfp.reliability ~per_iteration_failure:9.6e-10 ~iterations_per_hour:10_000.0
+  in
+  check_close 1e-9 "Appendix A.2 reliability" 0.99999040004 r
+
+(* --- The full Appendix A.2 computation --- *)
+
+let test_appendix_a2 () =
+  let a1 = Sfp.node_analysis [| 1.2e-5; 1.3e-5 |] in
+  let a2 = Sfp.node_analysis [| 1.2e-5; 1.3e-5 |] in
+  check_float "Pr(0; N1^2) = 0.99997500015" 0.99997500015 (Sfp.pr_zero a1);
+  (* The paper prints 0.000024999844 using the unrounded Pr(0); with the
+     grain-rounded Pr(0) the pessimistic value is one grain higher. *)
+  check_close 5e-11 "Pr(f>0) ~ 0.000024999844" 2.4999844e-5
+    (Sfp.pr_exceeds a1 ~k:0);
+  check_float "Pr(1) = 0.00002499937" 0.00002499937 (Sfp.pr_faults a1 ~f:1);
+  check_float "Pr(f>1) = 4.8e-10" 4.8e-10 (Sfp.pr_exceeds a1 ~k:1);
+  let union_k0 = Sfp.system_failure_per_iteration [| a1; a2 |] ~k:[| 0; 0 |] in
+  let rel_k0 =
+    Sfp.reliability ~per_iteration_failure:union_k0 ~iterations_per_hour:10_000.0
+  in
+  check_close 1e-7 "k=0 reliability 0.60652871884" 0.60652871884 rel_k0;
+  Alcotest.(check bool) "k=0 misses the goal" true (rel_k0 < 1.0 -. 1e-5);
+  let union_k1 = Sfp.system_failure_per_iteration [| a1; a2 |] ~k:[| 1; 1 |] in
+  check_float "union = 9.6e-10" 9.6e-10 union_k1;
+  let rel_k1 =
+    Sfp.reliability ~per_iteration_failure:union_k1 ~iterations_per_hour:10_000.0
+  in
+  Alcotest.(check bool) "k=1 meets the goal" true (rel_k1 >= 1.0 -. 1e-5)
+
+(* --- Design-level evaluation --- *)
+
+let test_evaluate_fig4a () =
+  let problem = Ftes_cc.Fig_examples.fig1_problem () in
+  let design = Ftes_cc.Fig_examples.fig4a problem in
+  let v = Sfp.evaluate problem design in
+  check_close 1e-9 "per-hour reliability" 0.99999040004
+    v.Sfp.reliability_per_hour;
+  Alcotest.(check bool) "meets goal" true v.Sfp.meets_goal;
+  check_float "goal" (1.0 -. 1e-5) v.Sfp.goal;
+  check_float "per-iteration failure" 9.6e-10 v.Sfp.per_iteration_failure
+
+let test_evaluate_fig4a_k0 () =
+  let problem = Ftes_cc.Fig_examples.fig1_problem () in
+  let design =
+    Design.with_reexecs (Ftes_cc.Fig_examples.fig4a problem) [| 0; 0 |]
+  in
+  let v = Sfp.evaluate problem design in
+  Alcotest.(check bool) "k=0 violates the goal" false v.Sfp.meets_goal;
+  check_close 1e-7 "reliability ~ 0.6065" 0.60652871884 v.Sfp.reliability_per_hour
+
+let test_meets_goal_shortcut () =
+  let problem = Ftes_cc.Fig_examples.fig1_problem () in
+  Alcotest.(check bool) "fig4a meets" true
+    (Sfp.meets_goal problem (Ftes_cc.Fig_examples.fig4a problem));
+  Alcotest.(check bool) "fig4a with k=0 does not" false
+    (Sfp.meets_goal problem
+       (Design.with_reexecs (Ftes_cc.Fig_examples.fig4a problem) [| 0; 0 |]))
+
+(* --- Fig. 3 re-execution counts through the analysis --- *)
+
+let fig3_k level =
+  let problem = Ftes_cc.Fig_examples.fig3_problem () in
+  let design =
+    Design.make problem ~members:[| 0 |] ~levels:[| level |] ~reexecs:[| 0 |]
+      ~mapping:[| 0 |]
+  in
+  match Ftes_core.Re_execution_opt.for_mapping problem design with
+  | None -> -1
+  | Some k -> k.(0)
+
+let test_fig3_reexecution_counts () =
+  Alcotest.(check int) "h=1 needs k=6" 6 (fig3_k 1);
+  Alcotest.(check int) "h=2 needs k=2" 2 (fig3_k 2);
+  Alcotest.(check int) "h=3 needs k=1" 1 (fig3_k 3)
+
+(* Monotonicity: hardening can only reduce the required k. *)
+let prop_k_monotone_in_hardening =
+  QCheck.Test.make ~count:50 ~name:"required k never grows with hardening"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let problem = Helpers.synthetic_problem ~seed ~n:8 ~ser:1e-10 () in
+      let rec check level prev_total =
+        if level > Ftes_model.Problem.levels problem 0 then true
+        else begin
+          let design = Helpers.design_on_all_nodes ~levels:level problem in
+          match Ftes_core.Re_execution_opt.for_mapping problem design with
+          | None -> false
+          | Some k ->
+              let total = Array.fold_left ( + ) 0 k in
+              total <= prev_total && check (level + 1) total
+        end
+      in
+      check 1 max_int)
+
+(* Boosting any node's k never hurts the per-iteration failure. *)
+let prop_union_monotone_in_k =
+  QCheck.Test.make ~count:100 ~name:"union failure decreases with k"
+    QCheck.(pair (list_of_size Gen.(1 -- 3) (float_bound_inclusive 0.1)) (int_bound 4))
+    (fun (ps, k) ->
+      let a = Sfp.node_analysis (Array.of_list ps) in
+      Sfp.system_failure_per_iteration [| a |] ~k:[| k + 1 |]
+      <= Sfp.system_failure_per_iteration [| a |] ~k:[| k |] +. 1e-15)
+
+(* --- The closed-form bound (Ftes_sfp.Bound) --- *)
+
+module Bound = Ftes_sfp.Bound
+
+let test_bound_values () =
+  let p = [| 0.01; 0.02 |] in
+  check_close 1e-12 "sum" 0.03 (Bound.sum_check p);
+  (* S^(k+1)/(1-S) for k = 0: 0.0009/0.97 *)
+  check_close 2e-11 "k=1: S^2/(1-S)" (0.03 *. 0.03 /. 0.97)
+    (Bound.pr_exceeds_upper p ~k:1);
+  check_close 1e-12 "empty node" 0.0 (Bound.pr_exceeds_upper [||] ~k:0)
+
+let test_bound_degenerate () =
+  check_close 1e-12 "S >= 1 degenerates to 1" 1.0
+    (Bound.pr_exceeds_upper [| 0.6; 0.6 |] ~k:3)
+
+let test_bound_validation () =
+  Alcotest.check_raises "negative k" (Invalid_argument "Bound: negative k")
+    (fun () -> ignore (Bound.pr_exceeds_upper [| 0.1 |] ~k:(-1)));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Bound: probabilities must lie in [0, 1)") (fun () ->
+      ignore (Bound.pr_exceeds_upper [| 1.0 |] ~k:0))
+
+let test_bound_required_k () =
+  let p = [| 0.01; 0.01 |] in
+  (match Bound.required_k p ~budget:1e-6 ~kmax:10 with
+  | Some k -> Alcotest.(check bool) "found small k" true (k >= 1 && k <= 4)
+  | None -> Alcotest.fail "reachable");
+  Alcotest.(check bool) "unreachable for absurd budget" true
+    (Bound.required_k [| 0.4 |] ~budget:1e-30 ~kmax:3 = None)
+
+let test_bound_is_sound_known () =
+  List.iter
+    (fun (p, k) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sound at k=%d" k)
+        true (Bound.is_sound p ~k))
+    [ ([| 0.01; 0.02; 0.03 |], 0);
+      ([| 0.01; 0.02; 0.03 |], 2);
+      ([| 1.2e-5; 1.3e-5 |], 1);
+      ([| 0.2 |], 3) ]
+
+let prop_bound_sound =
+  QCheck.Test.make ~count:200 ~name:"closed-form bound dominates the exact value"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5) (float_bound_inclusive 0.15))
+        (int_bound 5))
+    (fun (ps, k) -> Bound.is_sound (Array.of_list ps) ~k)
+
+let prop_bound_monotone =
+  QCheck.Test.make ~count:200 ~name:"bound decreases with k"
+    QCheck.(list_of_size Gen.(1 -- 5) (float_bound_inclusive 0.15))
+    (fun ps ->
+      let p = Array.of_list ps in
+      let rec check k =
+        k > 5
+        || (Bound.pr_exceeds_upper p ~k:(k + 1) <= Bound.pr_exceeds_upper p ~k +. 1e-15
+           && check (k + 1))
+      in
+      check 0)
+
+(* --- Per-process retry analysis --- *)
+
+module Per_process = Ftes_sfp.Per_process
+
+let test_pp_process_failure () =
+  check_close 1e-12 "k=0 is p" 0.04 (Per_process.process_failure ~p:0.04 ~k:0);
+  check_close 1e-11 "k=2 is p^3" (0.04 ** 3.0)
+    (Per_process.process_failure ~p:0.04 ~k:2);
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Per_process.process_failure: negative k") (fun () ->
+      ignore (Per_process.process_failure ~p:0.1 ~k:(-1)))
+
+let test_pp_node_failure () =
+  (* Two processes, no retries: 1 - (1-p1)(1-p2). *)
+  check_close 1e-9 "k=0 matches the independent union" 0.28
+    (Per_process.node_failure ~probs:[| 0.1; 0.2 |] ~k:[| 0; 0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Per_process.node_failure: length mismatch") (fun () ->
+      ignore (Per_process.node_failure ~probs:[| 0.1 |] ~k:[| 0; 0 |]))
+
+let test_pp_vs_shared_k0 () =
+  (* With zero budgets the two analyses coincide (both are 1 - Pr(0)). *)
+  let probs = [| 1.2e-5; 1.3e-5 |] in
+  let shared = Sfp.pr_exceeds (Sfp.node_analysis probs) ~k:0 in
+  let pp = Per_process.node_failure ~probs ~k:[| 0; 0 |] in
+  check_close 2e-11 "same at k=0" shared pp
+
+let test_pp_shared_budget_dominates () =
+  (* A shared budget of K covers every split of K retries, so the shared
+     node-failure probability with k=K is at most the per-process one
+     with budgets summing to K. *)
+  let probs = [| 0.03; 0.02; 0.05 |] in
+  let shared = Sfp.pr_exceeds (Sfp.node_analysis probs) ~k:2 in
+  List.iter
+    (fun split ->
+      let pp = Per_process.node_failure ~probs ~k:split in
+      Alcotest.(check bool) "shared k=2 at least as reliable" true
+        (shared <= pp +. 1e-12))
+    [ [| 2; 0; 0 |]; [| 0; 2; 0 |]; [| 1; 1; 0 |]; [| 0; 1; 1 |] ]
+
+let test_pp_meets_goal () =
+  let problem = Ftes_cc.Fig_examples.fig1_problem () in
+  let design = Ftes_cc.Fig_examples.fig4a problem in
+  (* One retry per process is more redundancy than the shared k=1 per
+     node that already meets the goal. *)
+  Alcotest.(check bool) "1 retry each meets the goal" true
+    (Per_process.meets_goal problem design ~k:[| 1; 1; 1; 1 |]);
+  Alcotest.(check bool) "no retries misses it" false
+    (Per_process.meets_goal problem design ~k:[| 0; 0; 0; 0 |])
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ftes_sfp"
+    [ ( "node analysis",
+        [ Alcotest.test_case "empty node" `Quick test_pr_zero_empty;
+          Alcotest.test_case "Pr(0) known value" `Quick test_pr_zero_known;
+          Alcotest.test_case "single-process Pr(f)" `Quick test_pr_faults_single_process;
+          Alcotest.test_case "pr_faults bounds" `Quick test_pr_faults_bounds;
+          Alcotest.test_case "validation" `Quick test_node_analysis_validation;
+          Alcotest.test_case "k=0 exceedance" `Quick test_pr_exceeds_k0;
+          Alcotest.test_case "monotone in k" `Quick test_pr_exceeds_monotone;
+          Alcotest.test_case "matches enumeration" `Quick
+            test_pr_exceeds_matches_enumeration;
+          q prop_dp_equals_enumeration ] );
+      ( "system",
+        [ Alcotest.test_case "union formula" `Quick test_union_formula;
+          Alcotest.test_case "union length mismatch" `Quick test_union_length_mismatch;
+          Alcotest.test_case "reliability edges" `Quick test_reliability_edge_cases;
+          q prop_union_monotone_in_k ] );
+      ( "appendix A.2",
+        [ Alcotest.test_case "worked example" `Quick test_appendix_a2;
+          Alcotest.test_case "evaluate fig4a" `Quick test_evaluate_fig4a;
+          Alcotest.test_case "evaluate fig4a k=0" `Quick test_evaluate_fig4a_k0;
+          Alcotest.test_case "meets_goal" `Quick test_meets_goal_shortcut ] );
+      ( "fig3",
+        [ Alcotest.test_case "re-execution counts 6/2/1" `Quick
+            test_fig3_reexecution_counts;
+          q prop_k_monotone_in_hardening ] );
+      ( "bound",
+        [ Alcotest.test_case "values" `Quick test_bound_values;
+          Alcotest.test_case "degenerate" `Quick test_bound_degenerate;
+          Alcotest.test_case "validation" `Quick test_bound_validation;
+          Alcotest.test_case "required k" `Quick test_bound_required_k;
+          Alcotest.test_case "sound on known vectors" `Quick
+            test_bound_is_sound_known;
+          q prop_bound_sound;
+          q prop_bound_monotone ] );
+      ( "per_process",
+        [ Alcotest.test_case "process failure" `Quick test_pp_process_failure;
+          Alcotest.test_case "node failure" `Quick test_pp_node_failure;
+          Alcotest.test_case "coincides with shared at k=0" `Quick
+            test_pp_vs_shared_k0;
+          Alcotest.test_case "shared budget dominates splits" `Quick
+            test_pp_shared_budget_dominates;
+          Alcotest.test_case "meets_goal" `Quick test_pp_meets_goal ] ) ]
