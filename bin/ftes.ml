@@ -4,7 +4,9 @@
      ftes optimize   run MIN/MAX/OPT on a built-in problem
      ftes generate   generate a synthetic application
      ftes simulate   fault-injection campaign on an optimized design
-     ftes experiment reproduce a figure/table of the paper *)
+     ftes experiment reproduce a figure/table of the paper
+     ftes lint       static verification of a problem and its optimized
+                     design/schedule *)
 
 open Cmdliner
 
@@ -292,6 +294,78 @@ let checkpoint_cmd =
        ~doc:"Optimize checkpoint counts on top of an optimized design")
     Term.(term_result term)
 
+(* lint *)
+
+module Verify = Ftes_verify.Verify
+module Report = Ftes_verify.Report
+module Subject = Ftes_verify.Subject
+module Json = Ftes_util.Json
+
+let lint_json ~source ~strategy ~feasible report =
+  Json.Object
+    [ ("subject", Json.String source);
+      ("strategy", Json.String strategy);
+      ("feasible", Json.Bool feasible);
+      ("report", Report.to_json report) ]
+
+(* Exit code 3 distinguishes "the verifier found an error" from
+   cmdliner's own 1/124/125 conventions. *)
+let lint_exit report =
+  if Report.ok report then Ok () else exit 3
+
+let run_lint file example strategy format =
+  match (resolve_problem ~file ~example, config_of_strategy strategy) with
+  | Error e, _ | _, Error e -> fail "%s" e
+  | Ok problem, Ok config ->
+      let source =
+        match file with Some path -> path | None -> "example:" ^ example
+      in
+      let config = { config with Config.certify = true } in
+      let feasible, report =
+        match Design_strategy.run ~config problem with
+        | Some { Design_strategy.certificate = Some report; _ } ->
+            (true, report)
+        | Some ({ Design_strategy.certificate = None; _ } as s) ->
+            (* Unreachable with certify on, but never drop the report. *)
+            ( true,
+              Verify.certify ~slack:config.Config.slack problem
+                s.Design_strategy.result.Redundancy_opt.design
+                s.Design_strategy.schedule )
+        | None -> (false, Verify.run (Subject.of_problem problem))
+      in
+      (match format with
+      | `Json ->
+          print_endline
+            (Json.to_string (lint_json ~source ~strategy ~feasible report))
+      | `Text ->
+          Printf.printf "lint %s (strategy %s)%s\n" source strategy
+            (if feasible then "" else " — no feasible design, problem rules only");
+          print_string (Report.to_text report));
+      lint_exit report
+
+let lint_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let term =
+    Term.(const run_lint $ file_arg $ example_arg $ strategy_arg $ format)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify a problem and its optimized design/schedule"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the $(b,Ftes_verify) rule registry over the problem and \
+               the design/schedule emitted by the selected strategy: \
+               structural sanity, independently re-derived schedule \
+               soundness (precedence, overlap, recovery slack, deadline) \
+               and the numerical contracts of the SFP analysis.  Exits \
+               with status 3 when any error-severity diagnostic fires." ])
+    Term.(term_result term)
+
 (* export *)
 
 let run_export example output =
@@ -320,4 +394,4 @@ let () =
   let info = Cmd.info "ftes" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ optimize_cmd; generate_cmd; simulate_cmd; experiment_cmd; export_cmd;
-         worst_case_cmd; checkpoint_cmd ]))
+         worst_case_cmd; checkpoint_cmd; lint_cmd ]))

@@ -9,6 +9,7 @@ type t = {
   kmax : int;
   slack : Ftes_sched.Scheduler.slack_mode;
   hardening : hardening_policy;
+  certify : bool;
 }
 
 let default =
@@ -19,7 +20,8 @@ let default =
     move_candidates = 5;
     kmax = 12;
     slack = Ftes_sched.Scheduler.Shared;
-    hardening = Optimize }
+    hardening = Optimize;
+    certify = false }
 
 let min_strategy = { default with hardening = Fixed_min }
 let max_strategy = { default with hardening = Fixed_max }

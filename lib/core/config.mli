@@ -25,6 +25,10 @@ type t = {
   kmax : int;  (** per-node re-execution bound explored by the SFP search. *)
   slack : Ftes_sched.Scheduler.slack_mode;
   hardening : hardening_policy;
+  certify : bool;
+      (** when set, {!Design_strategy.run} passes every emitted design
+          through the {!Ftes_verify} static verifier and attaches the
+          report to the solution. *)
 }
 
 val default : t

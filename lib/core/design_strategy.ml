@@ -9,6 +9,7 @@ type solution = {
   verdict : Sfp.verdict;
   schedule : Ftes_sched.Schedule.t;
   explored : int;
+  certificate : Ftes_verify.Report.t option;
 }
 
 let subset_speed problem members =
@@ -95,10 +96,21 @@ let run ~config problem =
   Option.map
     (fun (result : Redundancy_opt.result) ->
       let design = result.Redundancy_opt.design in
+      let schedule =
+        Scheduler.schedule ~slack:config.Config.slack problem design
+      in
+      let certificate =
+        if config.Config.certify then
+          Some
+            (Ftes_verify.Verify.certify ~slack:config.Config.slack problem
+               design schedule)
+        else None
+      in
       { result;
         verdict = Sfp.evaluate problem design;
-        schedule = Scheduler.schedule ~slack:config.Config.slack problem design;
-        explored = !explored })
+        schedule;
+        explored = !explored;
+        certificate })
     !best
 
 let accepted ?max_cost = function
@@ -106,4 +118,6 @@ let accepted ?max_cost = function
   | Some solution -> (
       match max_cost with
       | None -> true
-      | Some bound -> solution.result.Redundancy_opt.cost <= bound +. 1e-9)
+      | Some bound ->
+          Ftes_util.Tolerance.leq ~eps:Ftes_util.Tolerance.cost_eps
+            solution.result.Redundancy_opt.cost bound)

@@ -17,6 +17,9 @@ type solution = {
   verdict : Ftes_sfp.Sfp.verdict;
   schedule : Ftes_sched.Schedule.t;
   explored : int;  (** number of architectures evaluated. *)
+  certificate : Ftes_verify.Report.t option;
+      (** static-verifier report on the emitted triple, present when
+          {!Config.t.certify} is set. *)
 }
 
 val architectures_by_speed : Ftes_model.Problem.t -> n:int -> int array list

@@ -40,7 +40,7 @@ let escalate config problem design =
       | None -> best_len
     in
     match here with
-    | Some r when r.schedule_length <= d +. 1e-9 -> (Some r, best_len)
+    | Some r when Ftes_util.Tolerance.leq r.schedule_length d -> (Some r, best_len)
     | Some _ | None ->
         let members = Array.length levels in
         let best = ref None in
@@ -78,7 +78,7 @@ let reduce config problem design (current : result) =
         let candidate = Array.copy levels in
         candidate.(j) <- candidate.(j) - 1;
         match evaluate config problem design candidate with
-        | Some r when r.schedule_length <= d +. 1e-9 -> (
+        | Some r when Ftes_util.Tolerance.leq r.schedule_length d -> (
             match !best with
             | Some (br : result) when br.cost <= r.cost -> ()
             | Some _ | None -> best := Some r)
@@ -94,7 +94,7 @@ let reduce config problem design (current : result) =
 let fixed_levels config problem design levels =
   let d = deadline problem in
   match evaluate config problem design levels with
-  | Some r when r.schedule_length <= d +. 1e-9 -> Some r
+  | Some r when Ftes_util.Tolerance.leq r.schedule_length d -> Some r
   | Some _ | None -> None
 
 let run ~config problem design =
@@ -110,7 +110,7 @@ let run ~config problem design =
 let probe_fixed config problem design levels =
   match evaluate config problem design levels with
   | Some r ->
-      let ok = r.schedule_length <= deadline problem +. 1e-9 in
+      let ok = Ftes_util.Tolerance.leq r.schedule_length (deadline problem) in
       ((if ok then Some r else None), r.schedule_length)
   | None -> (None, infinity)
 

@@ -28,7 +28,7 @@ let length t = t.length
 
 let entry t ~proc = t.entries.(proc)
 
-let schedulable t ~deadline_ms = t.length <= deadline_ms +. 1e-9
+let schedulable t ~deadline_ms = Ftes_util.Tolerance.leq t.length deadline_ms
 
 let utilization t ~slot =
   let busy =
@@ -38,7 +38,7 @@ let utilization t ~slot =
   in
   if t.node_finish.(slot) <= 0.0 then 0.0 else busy /. t.node_finish.(slot)
 
-let eps = 1e-9
+let eps = Ftes_util.Tolerance.time_eps_ms
 
 let validate problem design t =
   let graph = Problem.graph problem in

@@ -172,4 +172,5 @@ let schedule_length ?slack ?bus problem design =
 
 let is_schedulable ?slack ?bus problem design =
   let sl = schedule_length ?slack ?bus problem design in
-  sl <= problem.Problem.app.Ftes_model.Application.deadline_ms +. 1e-9
+  Ftes_util.Tolerance.leq sl
+    problem.Problem.app.Ftes_model.Application.deadline_ms

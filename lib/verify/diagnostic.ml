@@ -1,0 +1,53 @@
+type severity = Error | Warn | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+type location =
+  | Global
+  | Process of int
+  | Member of int
+  | Edge of { src : int; dst : int }
+  | Message of { src : int; dst : int }
+
+let location_name = function
+  | Global -> "global"
+  | Process _ -> "process"
+  | Member _ -> "member"
+  | Edge _ -> "edge"
+  | Message _ -> "message"
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  detail : string;
+}
+
+let make ?(loc = Global) severity ~rule detail =
+  { rule; severity; location = loc; detail }
+
+let error ?loc ~rule fmt =
+  Printf.ksprintf (fun detail -> make ?loc Error ~rule detail) fmt
+
+let warn ?loc ~rule fmt =
+  Printf.ksprintf (fun detail -> make ?loc Warn ~rule detail) fmt
+
+let info ?loc ~rule fmt =
+  Printf.ksprintf (fun detail -> make ?loc Info ~rule detail) fmt
+
+let pp_location ppf = function
+  | Global -> Format.pp_print_string ppf "-"
+  | Process p -> Format.fprintf ppf "P%d" (p + 1)
+  | Member m -> Format.fprintf ppf "slot %d" m
+  | Edge { src; dst } -> Format.fprintf ppf "edge %d->%d" src dst
+  | Message { src; dst } -> Format.fprintf ppf "msg %d->%d" src dst
+
+let pp ppf t =
+  Format.fprintf ppf "%-5s %-24s %-12s %s"
+    (severity_name t.severity)
+    t.rule
+    (Format.asprintf "%a" pp_location t.location)
+    t.detail

@@ -1,0 +1,26 @@
+(** Verifier output: the diagnostics of one run plus which rules ran. *)
+
+type t = {
+  diagnostics : Diagnostic.t list;  (** in registry order. *)
+  rules_run : string list;  (** ids of the rules that executed. *)
+  rules_skipped : string list;
+      (** ids skipped because the subject lacked a design or schedule. *)
+}
+
+val count : t -> Diagnostic.severity -> int
+
+val errors : t -> Diagnostic.t list
+
+val ok : t -> bool
+(** No [Error]-severity diagnostic. *)
+
+val fired_rules : t -> string list
+(** Sorted, deduplicated ids of the rules that produced at least one
+    diagnostic. *)
+
+val to_text : t -> string
+(** Human-readable multi-line report. *)
+
+val to_json : t -> Ftes_util.Json.t
+(** Machine-readable report: [ok], per-severity counts, rule lists and
+    one object per diagnostic. *)

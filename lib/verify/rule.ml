@@ -1,0 +1,17 @@
+type requires = Problem_only | Needs_design | Needs_schedule
+
+type t = {
+  id : string;
+  synopsis : string;
+  requires : requires;
+  check : Subject.t -> Diagnostic.t list;
+}
+
+let make ~id ~synopsis ~requires check = { id; synopsis; requires; check }
+
+let applicable subject t =
+  match t.requires with
+  | Problem_only -> true
+  | Needs_design -> subject.Subject.design <> None
+  | Needs_schedule ->
+      subject.Subject.design <> None && subject.Subject.schedule <> None

@@ -1,0 +1,25 @@
+(** Named, self-describing checks of the verifier registry. *)
+
+type requires =
+  | Problem_only  (** runs on every subject. *)
+  | Needs_design  (** skipped unless the subject carries a design. *)
+  | Needs_schedule  (** skipped unless design and schedule are present. *)
+
+type t = {
+  id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)
+  synopsis : string;  (** one-line description for catalogues. *)
+  requires : requires;
+  check : Subject.t -> Diagnostic.t list;
+      (** returns the diagnostics found — the empty list means the rule
+          passed. *)
+}
+
+val make :
+  id:string ->
+  synopsis:string ->
+  requires:requires ->
+  (Subject.t -> Diagnostic.t list) ->
+  t
+
+val applicable : Subject.t -> t -> bool
+(** Whether the subject carries enough of the triple for this rule. *)

@@ -1,0 +1,471 @@
+(* Schedule soundness, recomputed independently of the scheduler.
+
+   The scheduler records its own bookkeeping ([node_finish],
+   [node_worst], [length], per-entry [commit]); these rules re-derive
+   every one of those quantities from the raw entries, the design tables
+   and the declared slack policy, and flag any disagreement.  The
+   re-derivation deliberately avoids the scheduler's incremental state:
+   per-slot placement order is recovered by sorting entries by start
+   time, maxima are folds over the finished schedule. *)
+
+module Task_graph = Ftes_model.Task_graph
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Application = Ftes_model.Application
+module Scheduler = Ftes_sched.Scheduler
+module Schedule = Ftes_sched.Schedule
+module Bus = Ftes_sched.Bus
+module Tolerance = Ftes_util.Tolerance
+module D = Diagnostic
+
+let context subject =
+  match (subject.Subject.design, subject.Subject.schedule) with
+  | Some design, Some schedule -> (subject.Subject.problem, design, schedule)
+  | _ -> invalid_arg "verifier: schedule rule run without a full subject"
+
+let mu problem = problem.Problem.app.Application.recovery_overhead_ms
+
+(* Mapped slot of a process, or None when the design is itself corrupt
+   (the design rules report that separately). *)
+let slot_of design proc =
+  let mapping = design.Design.mapping in
+  if proc < 0 || proc >= Array.length mapping then None
+  else begin
+    let slot = mapping.(proc) in
+    if slot < 0 || slot >= Design.n_members design then None else Some slot
+  end
+
+let wcet_of problem design proc =
+  match slot_of design proc with
+  | Some slot
+    when design.Design.members.(slot) >= 0
+         && design.Design.members.(slot) < Problem.n_library problem
+         && design.Design.levels.(slot) >= 1
+         && design.Design.levels.(slot)
+            <= Problem.levels problem design.Design.members.(slot) ->
+      Some (Design.wcet problem design ~proc)
+  | Some _ | None -> None
+
+let entries_on schedule slot =
+  Array.to_list schedule.Schedule.entries
+  |> List.filter (fun (e : Schedule.entry) -> e.slot = slot)
+
+(* sched/entries: one entry per process, self-consistent indices, and
+   each process sits on the slot its design maps it to. *)
+let check_entries subject =
+  let rule = "sched/entries" in
+  let problem, design, schedule = context subject in
+  let n = Problem.n_processes problem in
+  if Array.length schedule.Schedule.entries <> n then
+    [ D.error ~rule "%d schedule entries for %d processes"
+        (Array.length schedule.Schedule.entries)
+        n ]
+  else begin
+    let acc = ref [] in
+    Array.iteri
+      (fun i (e : Schedule.entry) ->
+        if e.proc <> i then
+          acc :=
+            D.error ~loc:(D.Process i) ~rule
+              "entry %d records process %d" i e.proc
+            :: !acc;
+        match slot_of design i with
+        | Some slot when slot <> e.slot ->
+            acc :=
+              D.error ~loc:(D.Process i) ~rule
+                "scheduled on slot %d but mapped to slot %d" e.slot slot
+              :: !acc
+        | Some _ -> ()
+        | None ->
+            acc :=
+              D.error ~loc:(D.Process i) ~rule
+                "entry slot %d has no valid mapping target" e.slot
+              :: !acc)
+      schedule.Schedule.entries;
+    List.rev !acc
+  end
+
+(* sched/wcet: executions start at or after 0, last at least the WCET
+   table says (checkpoint saves may only inflate them), and never commit
+   before they finish. *)
+let check_wcet subject =
+  let rule = "sched/wcet" in
+  let problem, design, schedule = context subject in
+  Array.to_list schedule.Schedule.entries
+  |> List.concat_map (fun (e : Schedule.entry) ->
+         let loc = D.Process e.proc in
+         let start =
+           if Tolerance.lt e.start 0.0 then
+             [ D.error ~loc ~rule "starts at %g ms, before time 0" e.start ]
+           else []
+         in
+         let duration =
+           match wcet_of problem design e.proc with
+           | Some w when Tolerance.lt (e.finish -. e.start) w ->
+               [ D.error ~loc ~rule
+                   "runs %g ms, shorter than its %g ms WCET"
+                   (e.finish -. e.start) w ]
+           | Some _ | None -> []
+         in
+         let commit =
+           if Tolerance.lt e.commit e.finish then
+             [ D.error ~loc ~rule "commits at %g ms, before its finish %g ms"
+                 e.commit e.finish ]
+           else []
+         in
+         start @ duration @ commit)
+
+(* sched/precedence: same-node successors wait for the producer's
+   finish; cross-node successors for a bus message that leaves no
+   earlier than the producer's worst-case commit, occupies the bus at
+   least its WCTT, and arrives before the consumer starts. *)
+let check_precedence subject =
+  let rule = "sched/precedence" in
+  let problem, design, schedule = context subject in
+  let graph = Problem.graph problem in
+  let n = Array.length schedule.Schedule.entries in
+  let find_message (e : Task_graph.edge) =
+    List.find_opt
+      (fun (m : Schedule.message) ->
+        m.edge.Task_graph.src = e.src && m.edge.Task_graph.dst = e.dst)
+      schedule.Schedule.messages
+  in
+  Task_graph.edges graph
+  |> List.concat_map (fun (e : Task_graph.edge) ->
+         if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then []
+         else begin
+           let loc = D.Edge { src = e.src; dst = e.dst } in
+           let src = schedule.Schedule.entries.(e.src) in
+           let dst = schedule.Schedule.entries.(e.dst) in
+           if slot_of design e.src = slot_of design e.dst then begin
+             if Tolerance.lt dst.start src.finish then
+               [ D.error ~loc ~rule
+                   "same-node successor starts at %g ms before the producer \
+                    finishes at %g ms"
+                   dst.start src.finish ]
+             else []
+           end
+           else begin
+             match find_message e with
+             | None ->
+                 [ D.error ~loc ~rule "cross-node edge has no bus message" ]
+             | Some m ->
+                 let mloc = D.Message { src = e.src; dst = e.dst } in
+                 let leaves =
+                   if Tolerance.lt m.bus_start src.commit then
+                     [ D.error ~loc:mloc ~rule
+                         "message leaves at %g ms before the producer's \
+                          worst-case commit %g ms"
+                         m.bus_start src.commit ]
+                   else []
+                 in
+                 let occupancy =
+                   (* TDMA fragments stretch the occupancy over slot
+                      gaps, but can never compress it below the WCTT. *)
+                   if
+                     Tolerance.lt
+                       (m.bus_finish -. m.bus_start)
+                       e.transmission_ms
+                   then
+                     [ D.error ~loc:mloc ~rule
+                         "bus occupancy %g ms shorter than the %g ms WCTT"
+                         (m.bus_finish -. m.bus_start)
+                         e.transmission_ms ]
+                   else []
+                 in
+                 let arrives =
+                   if Tolerance.lt dst.start m.bus_finish then
+                     [ D.error ~loc ~rule
+                         "consumer starts at %g ms before the message arrives \
+                          at %g ms"
+                         dst.start m.bus_finish ]
+                   else []
+                 in
+                 leaves @ occupancy @ arrives
+           end
+         end)
+
+let overlapping intervals =
+  let sorted = List.sort compare intervals in
+  let rec scan = function
+    | (_, f1, a) :: ((s2, _, b) :: _ as rest) ->
+        if Tolerance.lt s2 f1 then Some (a, b) else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan sorted
+
+(* sched/node-overlap: fault-free executions on one node never
+   overlap. *)
+let check_node_overlap subject =
+  let rule = "sched/node-overlap" in
+  let _, design, schedule = context subject in
+  List.init (Design.n_members design) Fun.id
+  |> List.concat_map (fun slot ->
+         let intervals =
+           entries_on schedule slot
+           |> List.map (fun (e : Schedule.entry) -> (e.start, e.finish, e.proc))
+         in
+         match overlapping intervals with
+         | Some (a, b) ->
+             [ D.error ~loc:(D.Member slot) ~rule
+                 "processes %d and %d overlap" a b ]
+         | None -> [])
+
+(* sched/bus-overlap: under FCFS no two messages share the bus; under
+   TDMA each member's transmissions are serialized and start inside a
+   slot owned by the sender (fragmented occupancies of different members
+   may legitimately interleave). *)
+let check_bus_overlap subject =
+  let rule = "sched/bus-overlap" in
+  let _, design, schedule = context subject in
+  let interval (m : Schedule.message) =
+    (m.bus_start, m.bus_finish, m.edge.Task_graph.src)
+  in
+  match subject.Subject.bus with
+  | Bus.Fcfs -> (
+      match overlapping (List.map interval schedule.Schedule.messages) with
+      | Some (a, b) ->
+          [ D.error ~rule "messages from processes %d and %d overlap on the bus"
+              a b ]
+      | None -> [])
+  | Bus.Tdma { slot_ms } ->
+      let members = Design.n_members design in
+      let per_member =
+        List.init members (fun slot ->
+            schedule.Schedule.messages
+            |> List.filter (fun (m : Schedule.message) ->
+                   slot_of design m.edge.Task_graph.src = Some slot)
+            |> List.map interval)
+      in
+      let serialization =
+        List.concat
+          (List.mapi
+             (fun slot intervals ->
+               match overlapping intervals with
+               | Some (a, b) ->
+                   [ D.error ~loc:(D.Member slot) ~rule
+                       "TDMA messages from processes %d and %d overlap" a b ]
+               | None -> [])
+             per_member)
+      in
+      let ownership =
+        schedule.Schedule.messages
+        |> List.concat_map (fun (m : Schedule.message) ->
+               match slot_of design m.edge.Task_graph.src with
+               | None -> []
+               | Some sender ->
+                   let index =
+                     int_of_float
+                       (Float.floor
+                          ((m.bus_start +. Tolerance.time_eps_ms) /. slot_ms))
+                   in
+                   if index mod members <> sender then
+                     [ D.error
+                         ~loc:
+                           (D.Message
+                              { src = m.edge.Task_graph.src;
+                                dst = m.edge.Task_graph.dst })
+                         ~rule
+                         "TDMA message starts at %g ms outside the sender's \
+                          slot"
+                         m.bus_start ]
+                   else [])
+      in
+      serialization @ ownership
+
+(* Re-derive the commit time of an entry under the declared policy.
+   Conservative commits depend on the running per-node maximum WCET at
+   placement time; placement order is recovered by sorting the slot's
+   entries by start time (starts are strictly increasing per node). *)
+let expected_commits problem design schedule slack slot =
+  let m = mu problem in
+  let k = float_of_int design.Design.reexecs.(slot) in
+  let entries =
+    entries_on schedule slot
+    |> List.sort (fun (a : Schedule.entry) (b : Schedule.entry) ->
+           compare (a.start, a.proc) (b.start, b.proc))
+  in
+  let running_max = ref 0.0 in
+  List.map
+    (fun (e : Schedule.entry) ->
+      let t = e.finish -. e.start in
+      running_max := Float.max !running_max t;
+      let expected =
+        match slack with
+        | Scheduler.Shared | Scheduler.Checkpointed _ -> e.finish
+        | Scheduler.Conservative -> e.finish +. (k *. (!running_max +. m))
+        | Scheduler.Dedicated -> e.finish +. (k *. (t +. m))
+        | Scheduler.Per_process budgets ->
+            let b =
+              if e.proc >= 0 && e.proc < Array.length budgets then
+                float_of_int budgets.(e.proc)
+              else 0.0
+            in
+            e.finish +. (b *. (t +. m))
+      in
+      (e, expected))
+    entries
+
+(* Worst-case completion of a slot, re-derived per policy from the raw
+   entries: end-of-node shared slack sized by the largest execution
+   (largest recovery segment under checkpointing), or the last commit
+   when every process carries its own slack. *)
+let expected_worst problem design schedule slack slot =
+  let m = mu problem in
+  let k = float_of_int design.Design.reexecs.(slot) in
+  let entries = entries_on schedule slot in
+  let nominal =
+    List.fold_left
+      (fun acc (e : Schedule.entry) -> Float.max acc e.finish)
+      0.0 entries
+  in
+  match slack with
+  | Scheduler.Shared | Scheduler.Conservative ->
+      let max_exec =
+        List.fold_left
+          (fun acc (e : Schedule.entry) -> Float.max acc (e.finish -. e.start))
+          0.0 entries
+      in
+      if max_exec = 0.0 then nominal else nominal +. (k *. (max_exec +. m))
+  | Scheduler.Checkpointed { kappa; _ } ->
+      let max_recovery =
+        List.fold_left
+          (fun acc (e : Schedule.entry) ->
+            match wcet_of problem design e.proc with
+            | Some w
+              when e.proc >= 0 && e.proc < Array.length kappa
+                   && kappa.(e.proc) >= 1 ->
+                Float.max acc (w /. float_of_int kappa.(e.proc))
+            | Some w -> Float.max acc w
+            | None -> acc)
+          0.0 entries
+      in
+      if max_recovery = 0.0 then nominal
+      else nominal +. (k *. (max_recovery +. m))
+  | Scheduler.Dedicated | Scheduler.Per_process _ ->
+      List.fold_left
+        (fun acc (e : Schedule.entry) -> Float.max acc e.commit)
+        0.0 entries
+
+(* sched/slack: the recorded nominal finish, per-entry commits and
+   worst-case completion of every node agree with the policy's
+   re-derived recovery-slack accounting. *)
+let check_slack subject =
+  let rule = "sched/slack" in
+  let problem, design, schedule = context subject in
+  let slack = subject.Subject.slack in
+  List.init (Design.n_members design) Fun.id
+  |> List.concat_map (fun slot ->
+         if
+           slot >= Array.length schedule.Schedule.node_finish
+           || slot >= Array.length schedule.Schedule.node_worst
+         then
+           [ D.error ~loc:(D.Member slot) ~rule
+               "schedule records no completion for this slot" ]
+         else begin
+           let loc = D.Member slot in
+           let nominal =
+             List.fold_left
+               (fun acc (e : Schedule.entry) -> Float.max acc e.finish)
+               0.0 (entries_on schedule slot)
+           in
+           let finish_ok =
+             if
+               not
+                 (Tolerance.approx schedule.Schedule.node_finish.(slot) nominal)
+             then
+               [ D.error ~loc ~rule
+                   "nominal completion %g ms, last execution finishes at %g ms"
+                   schedule.Schedule.node_finish.(slot) nominal ]
+             else []
+           in
+           let commits =
+             expected_commits problem design schedule slack slot
+             |> List.concat_map (fun ((e : Schedule.entry), expected) ->
+                    if not (Tolerance.approx e.commit expected) then
+                      [ D.error ~loc:(D.Process e.proc) ~rule
+                          "commit %g ms, policy re-derivation gives %g ms"
+                          e.commit expected ]
+                    else [])
+           in
+           let worst = expected_worst problem design schedule slack slot in
+           let worst_ok =
+             if
+               not (Tolerance.approx schedule.Schedule.node_worst.(slot) worst)
+             then
+               [ D.error ~loc ~rule
+                   "worst-case completion %g ms, policy re-derivation gives \
+                    %g ms"
+                   schedule.Schedule.node_worst.(slot) worst ]
+             else []
+           in
+           finish_ok @ commits @ worst_ok
+         end)
+
+(* sched/length: worst-case completions dominate nominal ones and the
+   schedule length is exactly the latest worst-case completion. *)
+let check_length subject =
+  let rule = "sched/length" in
+  let _, _, schedule = context subject in
+  let acc = ref [] in
+  Array.iteri
+    (fun slot worst ->
+      if slot < Array.length schedule.Schedule.node_finish then begin
+        let nominal = schedule.Schedule.node_finish.(slot) in
+        if Tolerance.lt worst nominal then
+          acc :=
+            D.error ~loc:(D.Member slot) ~rule
+              "worst-case completion %g ms precedes the nominal %g ms" worst
+              nominal
+            :: !acc
+      end)
+    schedule.Schedule.node_worst;
+  let max_worst =
+    Array.fold_left Float.max 0.0 schedule.Schedule.node_worst
+  in
+  if not (Tolerance.approx schedule.Schedule.length max_worst) then
+    acc :=
+      D.error ~rule
+        "schedule length %g ms is not the latest worst-case completion %g ms"
+        schedule.Schedule.length max_worst
+      :: !acc;
+  List.rev !acc
+
+(* sched/deadline: the guarantee the paper sells — the worst fault
+   scenario still meets the deadline (with the shared explicit
+   tolerance). *)
+let check_deadline subject =
+  let rule = "sched/deadline" in
+  let problem, _, schedule = context subject in
+  let deadline = problem.Problem.app.Application.deadline_ms in
+  if not (Tolerance.leq schedule.Schedule.length deadline) then
+    [ D.error ~rule "worst-case schedule length %g ms exceeds the %g ms \
+                     deadline"
+        schedule.Schedule.length deadline ]
+  else []
+
+let all =
+  [ Rule.make ~id:"sched/entries"
+      ~synopsis:"entry/process correspondence and mapping consistency"
+      ~requires:Rule.Needs_schedule check_entries;
+    Rule.make ~id:"sched/wcet"
+      ~synopsis:"starts >= 0, durations >= WCET, commits >= finishes"
+      ~requires:Rule.Needs_schedule check_wcet;
+    Rule.make ~id:"sched/precedence"
+      ~synopsis:"precedence through finishes, commits and bus messages"
+      ~requires:Rule.Needs_schedule check_precedence;
+    Rule.make ~id:"sched/node-overlap"
+      ~synopsis:"per-node executions never overlap"
+      ~requires:Rule.Needs_schedule check_node_overlap;
+    Rule.make ~id:"sched/bus-overlap"
+      ~synopsis:"bus arbitration respected (FCFS exclusive, TDMA slotted)"
+      ~requires:Rule.Needs_schedule check_bus_overlap;
+    Rule.make ~id:"sched/slack"
+      ~synopsis:"recovery-slack accounting re-derived per policy"
+      ~requires:Rule.Needs_schedule check_slack;
+    Rule.make ~id:"sched/length"
+      ~synopsis:"schedule length is the latest worst-case node completion"
+      ~requires:Rule.Needs_schedule check_length;
+    Rule.make ~id:"sched/deadline"
+      ~synopsis:"worst-case schedule length meets the deadline"
+      ~requires:Rule.Needs_schedule check_deadline ]

@@ -1,0 +1,11 @@
+(** Schedule-soundness rules, recomputed independently of the scheduler:
+    entry/mapping correspondence, WCET lower bounds, precedence through
+    bus-message times, per-node and bus exclusivity, recovery-slack
+    re-derivation per policy (shared / conservative / dedicated /
+    per-process / checkpointed) and the deadline guarantee.
+
+    Rule ids: [sched/entries], [sched/wcet], [sched/precedence],
+    [sched/node-overlap], [sched/bus-overlap], [sched/slack],
+    [sched/length], [sched/deadline]. *)
+
+val all : Rule.t list

@@ -1,0 +1,311 @@
+(* Numerical contracts of the SFP layer (formulae (1)-(6) of the
+   paper): the grain rounding is pessimistic in the right direction,
+   the analysis is monotone in the re-execution count and the hardening
+   level, the closed-form bound stays above the exact dynamic program,
+   and the per-hour reliability exponentiation is consistent.
+
+   Every check compares the producer's rounded values against unrounded
+   references recomputed here, so a rounding applied in the wrong
+   direction — optimistic instead of pessimistic — is caught even when
+   it is only a grain wide. *)
+
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Application = Ftes_model.Application
+module Sfp = Ftes_sfp.Sfp
+module Bound = Ftes_sfp.Bound
+module Rounding = Ftes_util.Rounding
+module Symmetric = Ftes_util.Symmetric
+module Tolerance = Ftes_util.Tolerance
+module D = Diagnostic
+
+let design_exn subject =
+  match subject.Subject.design with
+  | Some d -> d
+  | None -> invalid_arg "verifier: SFP rule run without a design"
+
+(* SFP rules only run on designs whose probability tables and counters
+   are themselves well-formed; corrupt designs are the structural rules'
+   business and would make the analysis constructors raise. *)
+let analysable problem design =
+  Design.validate problem design = Ok ()
+
+(* Iterate a member-level check over slot, probability vector and k. *)
+let per_member problem design f =
+  List.init (Design.n_members design) Fun.id
+  |> List.concat_map (fun slot ->
+         let probs = Design.pfail_vector problem design ~member:slot in
+         f ~slot ~probs ~k:design.Design.reexecs.(slot))
+
+(* Number of fault multisets the enumerated reference would visit:
+   sum over f of C(n+f-1, f). *)
+let enumeration_size ~n ~k =
+  let choose n r =
+    let acc = ref 1.0 in
+    for i = 1 to r do
+      !acc *. float_of_int (n - r + i) /. float_of_int i |> ( := ) acc
+    done;
+    !acc
+  in
+  let total = ref 0.0 in
+  for f = 1 to k do
+    total := !total +. choose (n + f - 1) f
+  done;
+  !total
+
+(* sfp/rounding: Pr(0) rounds down, Pr(f) rounds down, Pr(f > k) rounds
+   up — all relative to the unrounded references — and the dynamic
+   program agrees with the explicit multiset enumeration where the
+   latter is affordable. *)
+let check_rounding subject =
+  let rule = "sfp/rounding" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else
+    per_member problem design (fun ~slot ~probs ~k ->
+        let loc = D.Member slot in
+        let analysis = Sfp.node_analysis ~kmax:(max k 1) probs in
+        let raw0 =
+          Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs
+        in
+        let acc = ref [] in
+        if Tolerance.gt ~eps:Tolerance.prob_eps (Sfp.pr_zero analysis) raw0
+        then
+          acc :=
+            D.error ~loc ~rule
+              "Pr(0) = %.17g rounds above the exact %.17g (formula (1) must \
+               round down)"
+              (Sfp.pr_zero analysis) raw0
+            :: !acc;
+        let h = Symmetric.complete_homogeneous probs k in
+        for f = 1 to k do
+          let raw = raw0 *. h.(f) in
+          if
+            Tolerance.gt ~eps:Tolerance.prob_eps (Sfp.pr_faults analysis ~f)
+              raw
+          then
+            acc :=
+              D.error ~loc ~rule
+                "Pr(%d) = %.17g rounds above the exact %.17g (formula (2) \
+                 must round down)"
+                f
+                (Sfp.pr_faults analysis ~f)
+                raw
+              :: !acc
+        done;
+        let recovered = ref 0.0 in
+        for f = 0 to k do
+          recovered := !recovered +. (raw0 *. h.(f))
+        done;
+        let exact_raw = Float.max 0.0 (1.0 -. !recovered) in
+        if
+          Tolerance.lt ~eps:Tolerance.prob_eps
+            (Sfp.pr_exceeds analysis ~k)
+            exact_raw
+        then
+          acc :=
+            D.error ~loc ~rule
+              "Pr(f > %d) = %.17g rounds below the exact %.17g (formula (4) \
+               must round up)"
+              k
+              (Sfp.pr_exceeds analysis ~k)
+              exact_raw
+            :: !acc;
+        let n = Array.length probs in
+        if n > 0 && k > 0 && enumeration_size ~n ~k <= 5000.0 then begin
+          let enumerated = Sfp.pr_exceeds_enumerated probs ~k in
+          let tol = float_of_int (2 * (k + 1)) *. Rounding.grain in
+          if
+            not
+              (Tolerance.approx ~eps:tol (Sfp.pr_exceeds analysis ~k)
+                 enumerated)
+          then
+            acc :=
+              D.error ~loc ~rule
+                "dynamic program gives Pr(f > %d) = %.17g, multiset \
+                 enumeration gives %.17g"
+                k
+                (Sfp.pr_exceeds analysis ~k)
+                enumerated
+              :: !acc
+        end;
+        List.rev !acc)
+
+(* sfp/monotone-k: more re-executions never increase the probability of
+   exceeding the budget. *)
+let check_monotone_k subject =
+  let rule = "sfp/monotone-k" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else
+    per_member problem design (fun ~slot ~probs ~k ->
+        let kmax = k + 1 in
+        let analysis = Sfp.node_analysis ~kmax probs in
+        let acc = ref [] in
+        for k' = 0 to kmax - 1 do
+          let here = Sfp.pr_exceeds analysis ~k:k' in
+          let next = Sfp.pr_exceeds analysis ~k:(k' + 1) in
+          if Tolerance.gt ~eps:Tolerance.prob_eps next here then
+            acc :=
+              D.error ~loc:(D.Member slot) ~rule
+                "Pr(f > %d) = %.17g exceeds Pr(f > %d) = %.17g" (k' + 1) next
+                k' here
+              :: !acc
+        done;
+        List.rev !acc)
+
+(* sfp/monotone-hardening: at a fixed k, hardening a member never
+   increases its probability of exceeding the re-execution budget.
+   Evaluated on the member's actual process set across every pair of
+   adjacent h-versions. *)
+let check_monotone_hardening subject =
+  let rule = "sfp/monotone-hardening" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else
+    List.init (Design.n_members design) Fun.id
+    |> List.concat_map (fun slot ->
+           let j = design.Design.members.(slot) in
+           let k = design.Design.reexecs.(slot) in
+           let procs = Design.procs_on design ~member:slot in
+           let vector level =
+             Array.of_list
+               (List.map
+                  (fun proc -> Problem.pfail problem ~node:j ~level ~proc)
+                  procs)
+           in
+           let exceeds level =
+             Sfp.pr_exceeds
+               (Sfp.node_analysis ~kmax:(max k 1) (vector level))
+               ~k
+           in
+           (* Per-term down rounding may wobble each value by a grain;
+              the monotonicity tolerance covers the k+1 rounded terms on
+              both sides. *)
+           let tol = float_of_int (2 * (k + 2)) *. Rounding.grain in
+           let acc = ref [] in
+           for level = 1 to Problem.levels problem j - 1 do
+             let lower = exceeds level and higher = exceeds (level + 1) in
+             if Tolerance.gt ~eps:tol higher lower then
+               acc :=
+                 D.error ~loc:(D.Member slot) ~rule
+                   "Pr(f > %d) grows from %.17g at h=%d to %.17g at h=%d" k
+                   lower level higher (level + 1)
+                 :: !acc
+           done;
+           List.rev !acc)
+
+(* sfp/bound-sound: the closed-form S^(k+1)/(1-S) bound dominates the
+   exact (unrounded) analysis on every member's probability vector. *)
+let check_bound_sound subject =
+  let rule = "sfp/bound-sound" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else
+    per_member problem design (fun ~slot ~probs ~k ->
+        if Bound.is_sound probs ~k then []
+        else
+          [ D.error ~loc:(D.Member slot) ~rule
+              "closed-form bound %.17g falls below the exact Pr(f > %d)"
+              (Bound.pr_exceeds_upper probs ~k)
+              k ])
+
+(* sfp/per-hour: formula (6)'s exponent bookkeeping — iterations per
+   hour from the period, the (1 - p)^n exponentiation, the goal 1 - γ
+   and the verdict's own consistency. *)
+let check_per_hour subject =
+  let rule = "sfp/per-hour" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else begin
+    let app = problem.Problem.app in
+    let verdict = Sfp.evaluate problem design in
+    let acc = ref [] in
+    let iterations = 3600.0 *. 1000.0 /. app.Application.period_ms in
+    if
+      not
+        (Tolerance.approx ~eps:1e-6
+           (Application.iterations_per_hour app)
+           iterations)
+    then
+      acc :=
+        D.error ~rule "iterations per hour %.17g, period %g ms implies %.17g"
+          (Application.iterations_per_hour app)
+          app.Application.period_ms iterations
+        :: !acc;
+    let p = verdict.Sfp.per_iteration_failure in
+    let expected =
+      if p >= 1.0 then 0.0 else Float.pow (1.0 -. p) (Float.ceil iterations)
+    in
+    if
+      not (Tolerance.approx ~eps:1e-9 verdict.Sfp.reliability_per_hour expected)
+    then
+      acc :=
+        D.error ~rule
+          "reliability %.17g but (1 - %.17g)^%.0f = %.17g"
+          verdict.Sfp.reliability_per_hour p (Float.ceil iterations) expected
+        :: !acc;
+    if
+      not
+        (Tolerance.approx ~eps:Tolerance.prob_eps verdict.Sfp.goal
+           (1.0 -. app.Application.gamma))
+    then
+      acc :=
+        D.error ~rule "goal %.17g but 1 - γ = %.17g" verdict.Sfp.goal
+          (1.0 -. app.Application.gamma)
+        :: !acc;
+    if
+      verdict.Sfp.meets_goal
+      <> (verdict.Sfp.reliability_per_hour >= verdict.Sfp.goal)
+    then
+      acc :=
+        D.error ~rule
+          "verdict says meets_goal=%b but reliability %.17g vs goal %.17g"
+          verdict.Sfp.meets_goal verdict.Sfp.reliability_per_hour
+          verdict.Sfp.goal
+        :: !acc;
+    List.rev !acc
+  end
+
+(* sfp/goal: the reliability guarantee itself — formula (6) holds for
+   the design. *)
+let check_goal subject =
+  let rule = "sfp/goal" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  if not (analysable problem design) then []
+  else begin
+    let verdict = Sfp.evaluate problem design in
+    if verdict.Sfp.meets_goal then []
+    else
+      [ D.error ~rule
+          "per-hour reliability %.11f misses the goal %.11f (γ = %g)"
+          verdict.Sfp.reliability_per_hour verdict.Sfp.goal
+          problem.Problem.app.Application.gamma ]
+  end
+
+let all =
+  [ Rule.make ~id:"sfp/rounding"
+      ~synopsis:"formulae (1)-(4) round pessimistically; DP matches \
+                 enumeration"
+      ~requires:Rule.Needs_design check_rounding;
+    Rule.make ~id:"sfp/monotone-k"
+      ~synopsis:"Pr(f > k) is non-increasing in k"
+      ~requires:Rule.Needs_design check_monotone_k;
+    Rule.make ~id:"sfp/monotone-hardening"
+      ~synopsis:"Pr(f > k) is non-increasing in the hardening level"
+      ~requires:Rule.Needs_design check_monotone_hardening;
+    Rule.make ~id:"sfp/bound-sound"
+      ~synopsis:"the closed-form bound dominates the exact analysis"
+      ~requires:Rule.Needs_design check_bound_sound;
+    Rule.make ~id:"sfp/per-hour"
+      ~synopsis:"per-hour exponentiation and verdict consistency"
+      ~requires:Rule.Needs_design check_per_hour;
+    Rule.make ~id:"sfp/goal"
+      ~synopsis:"the reliability goal 1 - γ holds (formula (6))"
+      ~requires:Rule.Needs_design check_goal ]

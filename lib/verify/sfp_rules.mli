@@ -1,0 +1,10 @@
+(** Numerical contracts of the SFP analysis (formulae (1)-(6)):
+    pessimistic rounding directions, monotonicity in the re-execution
+    count and in the hardening level, soundness of the closed-form
+    bound against the exact dynamic program, and per-hour exponent
+    consistency.
+
+    Rule ids: [sfp/rounding], [sfp/monotone-k], [sfp/monotone-hardening],
+    [sfp/bound-sound], [sfp/per-hour], [sfp/goal]. *)
+
+val all : Rule.t list

@@ -1,0 +1,260 @@
+(* Structural contracts of the problem and design, re-checked from the
+   raw arrays rather than trusted from the smart constructors: a corrupt
+   value built through the record-update escape hatches must still be
+   caught here. *)
+
+module Task_graph = Ftes_model.Task_graph
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Platform = Ftes_model.Platform
+module D = Diagnostic
+
+let design_exn subject =
+  match subject.Subject.design with
+  | Some d -> d
+  | None -> invalid_arg "verifier: design rule run without a design"
+
+(* graph/acyclic: independent cycle detection (iterated colouring DFS
+   over the edge list; the cached topological order is not trusted). *)
+let check_acyclic subject =
+  let rule = "graph/acyclic" in
+  let graph = Problem.graph subject.Subject.problem in
+  let n = Task_graph.n graph in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (e : Task_graph.edge) ->
+      if e.src >= 0 && e.src < n && e.dst >= 0 && e.dst < n then
+        succs.(e.src) <- e.dst :: succs.(e.src))
+    (Task_graph.edges graph);
+  let state = Array.make n `White in
+  let witness = ref None in
+  let rec visit u =
+    match state.(u) with
+    | `Grey -> if !witness = None then witness := Some u
+    | `Black -> ()
+    | `White ->
+        state.(u) <- `Grey;
+        List.iter (fun v -> if !witness = None then visit v) succs.(u);
+        state.(u) <- `Black
+  in
+  for u = 0 to n - 1 do
+    if !witness = None then visit u
+  done;
+  match !witness with
+  | Some u ->
+      [ D.error ~loc:(D.Process u) ~rule
+          "task graph has a cycle through process %d" u ]
+  | None -> []
+
+(* graph/edges: endpoint ranges, self-loops, duplicate edges and
+   transmission-time sanity. *)
+let check_edges subject =
+  let rule = "graph/edges" in
+  let graph = Problem.graph subject.Subject.problem in
+  let n = Task_graph.n graph in
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun (e : Task_graph.edge) ->
+      let loc = D.Edge { src = e.src; dst = e.dst } in
+      let range =
+        if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+          [ D.error ~loc ~rule "edge endpoint outside 0..%d" (n - 1) ]
+        else []
+      in
+      let self =
+        if e.src = e.dst then [ D.error ~loc ~rule "self-loop" ] else []
+      in
+      let duplicate =
+        if Hashtbl.mem seen (e.src, e.dst) then
+          [ D.error ~loc ~rule "duplicate edge" ]
+        else begin
+          Hashtbl.add seen (e.src, e.dst) ();
+          []
+        end
+      in
+      let time =
+        if (not (Float.is_finite e.transmission_ms)) || e.transmission_ms < 0.0
+        then
+          [ D.error ~loc ~rule "invalid transmission time %g ms"
+              e.transmission_ms ]
+        else []
+      in
+      range @ self @ duplicate @ time)
+    (Task_graph.edges graph)
+
+(* problem/library: every node type's h-version tables are shaped for
+   the application and respect the hardening contract (positive WCETs,
+   probabilities in [0,1), strictly increasing cost, non-increasing
+   failure probability). *)
+let check_library subject =
+  let rule = "problem/library" in
+  let problem = subject.Subject.problem in
+  let n = Problem.n_processes problem in
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  for j = 0 to Problem.n_library problem - 1 do
+    let nt = Problem.node problem j in
+    let name = nt.Platform.node_name in
+    if Platform.n_processes nt <> n then
+      emit
+        (D.error ~rule "node %s tables cover %d processes, application has %d"
+           name (Platform.n_processes nt) n);
+    Array.iteri
+      (fun i (v : Platform.hversion) ->
+        if v.level <> i + 1 then
+          emit
+            (D.error ~rule "node %s: levels not consecutive from 1 (found %d)"
+               name v.level);
+        if (not (Float.is_finite v.cost)) || v.cost <= 0.0 then
+          emit (D.error ~rule "node %s h=%d: non-positive cost %g" name v.level
+                  v.cost);
+        Array.iteri
+          (fun p w ->
+            if (not (Float.is_finite w)) || w <= 0.0 then
+              emit
+                (D.error ~loc:(D.Process p) ~rule
+                   "node %s h=%d: non-positive WCET %g ms" name v.level w))
+          v.wcet_ms;
+        Array.iteri
+          (fun p pr ->
+            if (not (Float.is_finite pr)) || pr < 0.0 || pr >= 1.0 then
+              emit
+                (D.error ~loc:(D.Process p) ~rule
+                   "node %s h=%d: failure probability %g outside [0,1)" name
+                   v.level pr))
+          v.pfail;
+        if i > 0 then begin
+          let lower = nt.Platform.versions.(i - 1) in
+          if v.cost <= lower.cost then
+            emit
+              (D.error ~rule
+                 "node %s: cost does not increase from h=%d to h=%d" name
+                 lower.level v.level);
+          Array.iteri
+            (fun p pr ->
+              if p < Array.length lower.pfail && pr > lower.pfail.(p) then
+                emit
+                  (D.error ~loc:(D.Process p) ~rule
+                     "node %s: failure probability increases from h=%d to h=%d"
+                     name lower.level v.level))
+            v.pfail
+        end)
+      nt.Platform.versions
+  done;
+  List.rev !acc
+
+(* design/members: the selected architecture is a valid subset of the
+   node library. *)
+let check_members subject =
+  let rule = "design/members" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  let lib = Problem.n_library problem in
+  let m = Array.length design.Design.members in
+  if m = 0 then [ D.error ~rule "empty architecture" ]
+  else begin
+    let acc = ref [] in
+    if Array.length design.Design.levels <> m then
+      acc :=
+        D.error ~rule "levels array has %d entries for %d members"
+          (Array.length design.Design.levels) m
+        :: !acc;
+    if Array.length design.Design.reexecs <> m then
+      acc :=
+        D.error ~rule "reexecs array has %d entries for %d members"
+          (Array.length design.Design.reexecs) m
+        :: !acc;
+    let seen = Array.make (max lib 1) false in
+    Array.iteri
+      (fun slot j ->
+        if j < 0 || j >= lib then
+          acc :=
+            D.error ~loc:(D.Member slot) ~rule
+              "member %d outside the library 0..%d" j (lib - 1)
+            :: !acc
+        else if seen.(j) then
+          acc :=
+            D.error ~loc:(D.Member slot) ~rule "library node %d selected twice"
+              j
+            :: !acc
+        else seen.(j) <- true)
+      design.Design.members;
+    List.rev !acc
+  end
+
+(* design/hardening: h-version bounds and non-negative re-execution
+   counts per member. *)
+let check_hardening subject =
+  let rule = "design/hardening" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  let lib = Problem.n_library problem in
+  let acc = ref [] in
+  Array.iteri
+    (fun slot j ->
+      if j >= 0 && j < lib then begin
+        let levels = Problem.levels problem j in
+        if slot < Array.length design.Design.levels then begin
+          let h = design.Design.levels.(slot) in
+          if h < 1 || h > levels then
+            acc :=
+              D.error ~loc:(D.Member slot) ~rule
+                "hardening level %d outside 1..%d" h levels
+              :: !acc
+        end;
+        if slot < Array.length design.Design.reexecs then begin
+          let k = design.Design.reexecs.(slot) in
+          if k < 0 then
+            acc :=
+              D.error ~loc:(D.Member slot) ~rule
+                "negative re-execution count %d" k
+              :: !acc
+        end
+      end)
+    design.Design.members;
+  List.rev !acc
+
+(* design/mapping: the mapping is total over processes and lands inside
+   the architecture. *)
+let check_mapping subject =
+  let rule = "design/mapping" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  let n = Problem.n_processes problem in
+  let m = Array.length design.Design.members in
+  if Array.length design.Design.mapping <> n then
+    [ D.error ~rule "mapping covers %d of %d processes"
+        (Array.length design.Design.mapping)
+        n ]
+  else begin
+    let acc = ref [] in
+    Array.iteri
+      (fun p slot ->
+        if slot < 0 || slot >= m then
+          acc :=
+            D.error ~loc:(D.Process p) ~rule
+              "process mapped to slot %d outside 0..%d" slot (m - 1)
+            :: !acc)
+      design.Design.mapping;
+    List.rev !acc
+  end
+
+let all =
+  [ Rule.make ~id:"graph/acyclic"
+      ~synopsis:"the task graph is a DAG (independent cycle search)"
+      ~requires:Rule.Problem_only check_acyclic;
+    Rule.make ~id:"graph/edges"
+      ~synopsis:"edge endpoints, self-loops, duplicates, transmission times"
+      ~requires:Rule.Problem_only check_edges;
+    Rule.make ~id:"problem/library"
+      ~synopsis:"h-version tables: shape, positivity, hardening monotonicity"
+      ~requires:Rule.Problem_only check_library;
+    Rule.make ~id:"design/members"
+      ~synopsis:"the architecture is a duplicate-free subset of the library"
+      ~requires:Rule.Needs_design check_members;
+    Rule.make ~id:"design/hardening"
+      ~synopsis:"hardening levels within each node's range, k >= 0"
+      ~requires:Rule.Needs_design check_hardening;
+    Rule.make ~id:"design/mapping"
+      ~synopsis:"the mapping is total and lands inside the architecture"
+      ~requires:Rule.Needs_design check_mapping ]

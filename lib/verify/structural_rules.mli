@@ -1,0 +1,8 @@
+(** Structural rules: task-graph sanity (acyclicity, edge validity),
+    h-version library contracts, and design well-formedness
+    (architecture subset, hardening bounds, mapping totality).
+
+    Rule ids: [graph/acyclic], [graph/edges], [problem/library],
+    [design/members], [design/hardening], [design/mapping]. *)
+
+val all : Rule.t list

@@ -1,0 +1,23 @@
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Scheduler = Ftes_sched.Scheduler
+module Schedule = Ftes_sched.Schedule
+module Bus = Ftes_sched.Bus
+
+type t = {
+  problem : Problem.t;
+  design : Design.t option;
+  schedule : Schedule.t option;
+  slack : Scheduler.slack_mode;
+  bus : Bus.policy;
+}
+
+let of_problem problem =
+  { problem; design = None; schedule = None; slack = Scheduler.Shared;
+    bus = Bus.Fcfs }
+
+let of_design problem design = { (of_problem problem) with design = Some design }
+
+let of_schedule ?(slack = Scheduler.Shared) ?(bus = Bus.Fcfs) problem design
+    schedule =
+  { problem; design = Some design; schedule = Some schedule; slack; bus }

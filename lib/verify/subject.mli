@@ -1,0 +1,31 @@
+(** What the verifier is asked to certify.
+
+    A subject is a [(problem, design, schedule)] triple or any prefix of
+    it.  The slack policy and bus arbitration the schedule was built
+    under must accompany the schedule, because the verifier re-derives
+    the recovery-slack accounting per policy instead of trusting the
+    scheduler's own bookkeeping. *)
+
+type t = {
+  problem : Ftes_model.Problem.t;
+  design : Ftes_model.Design.t option;
+  schedule : Ftes_sched.Schedule.t option;
+  slack : Ftes_sched.Scheduler.slack_mode;
+      (** policy the schedule was synthesized under. *)
+  bus : Ftes_sched.Bus.policy;  (** bus arbitration of the schedule. *)
+}
+
+val of_problem : Ftes_model.Problem.t -> t
+(** Problem only: graph and library rules apply. *)
+
+val of_design : Ftes_model.Problem.t -> Ftes_model.Design.t -> t
+(** Problem + design: adds mapping/architecture and SFP rules. *)
+
+val of_schedule :
+  ?slack:Ftes_sched.Scheduler.slack_mode ->
+  ?bus:Ftes_sched.Bus.policy ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  Ftes_sched.Schedule.t ->
+  t
+(** The full triple (defaults: shared slack, FCFS bus). *)

@@ -1,0 +1,27 @@
+let registry = Structural_rules.all @ Schedule_rules.all @ Sfp_rules.all
+
+let () =
+  (* A duplicated id would make reports ambiguous; fail fast at link
+     time rather than in a lint run. *)
+  let ids = List.map (fun r -> r.Rule.id) registry in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Ftes_verify: duplicate rule ids in the registry"
+
+let find id = List.find_opt (fun r -> r.Rule.id = id) registry
+
+let run ?(rules = registry) subject =
+  let run_rules, skipped =
+    List.partition (fun r -> Rule.applicable subject r) rules
+  in
+  let diagnostics =
+    List.concat_map (fun r -> r.Rule.check subject) run_rules
+  in
+  { Report.diagnostics;
+    rules_run = List.map (fun r -> r.Rule.id) run_rules;
+    rules_skipped = List.map (fun r -> r.Rule.id) skipped }
+
+let except ids =
+  List.filter (fun r -> not (List.mem r.Rule.id ids)) registry
+
+let certify ?slack ?bus problem design schedule =
+  run (Subject.of_schedule ?slack ?bus problem design schedule)

@@ -1,0 +1,29 @@
+(** The verifier front door: rule registry and runner.
+
+    The registry holds every rule of {!Structural_rules},
+    {!Schedule_rules} and {!Sfp_rules}.  A run executes the applicable
+    subset against a {!Subject.t} and returns a {!Report.t}; rules that
+    need a design or a schedule the subject lacks are recorded as
+    skipped rather than failed. *)
+
+val registry : Rule.t list
+(** All rules, in execution order. *)
+
+val find : string -> Rule.t option
+(** Look a rule up by id. *)
+
+val except : string list -> Rule.t list
+(** The registry without the given ids — e.g. to verify a schedule's
+    soundness while tolerating a missed deadline. *)
+
+val run : ?rules:Rule.t list -> Subject.t -> Report.t
+(** Run (a subset of) the registry against a subject. *)
+
+val certify :
+  ?slack:Ftes_sched.Scheduler.slack_mode ->
+  ?bus:Ftes_sched.Bus.policy ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  Ftes_sched.Schedule.t ->
+  Report.t
+(** Full-registry run on a complete triple. *)
