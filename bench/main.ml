@@ -13,6 +13,11 @@ module Synthetic = Ftes_exp.Synthetic
 module Figures = Ftes_exp.Figures
 module Ablations = Ftes_exp.Ablations
 module Csv = Ftes_util.Csv
+module Config = Ftes_core.Config
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Workload = Ftes_gen.Workload
+module Pool = Ftes_par.Pool
+module Sfp_cache = Ftes_par.Sfp_cache
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -29,8 +34,11 @@ let seed = env_int "FTES_SEED" 42
 
 let results_dir = "results"
 
+(* mkdir first and treat EEXIST as success: the old exists-then-create
+   sequence raced against concurrent harness invocations sharing one
+   results directory. *)
 let ensure_results_dir () =
-  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+  try Sys.mkdir results_dir 0o755 with Sys_error _ -> ()
 
 let save_csv name rows =
   ensure_results_dir ();
@@ -47,6 +55,95 @@ let timed name f =
   Printf.printf "[time] %s: %.1fs\n%!" name (Sys.time () -. t0);
   r
 
+let walled f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Sequential-vs-parallel comparison of one OPT experiment cell.  Three
+   configurations over the same applications: the unmemoized sequential
+   baseline, the memoized single-domain run, and the memoized run on at
+   least two domains.  The per-application costs must match bit for bit
+   across all three; wall times, the (hardware-independent) evaluation
+   work ratio and the cache hit rates land in bench_par.csv. *)
+let bench_parallel ~apps ~seed =
+  let specs = Workload.paper_suite ~count:apps ~seed () in
+  let key =
+    { Synthetic.ser = 1e-11; hpd = 0.25; policy = Config.Optimize }
+  in
+  let baseline = { Config.default with Config.memoize = false } in
+  Redundancy_opt.reset_eval_stats ();
+  let seq, seq_s =
+    walled (fun () -> Synthetic.run_cell ~config:baseline ~specs key)
+  in
+  let seq_fresh = (Redundancy_opt.eval_stats ()).Redundancy_opt.fresh in
+  Redundancy_opt.reset_eval_stats ();
+  let memo, memo_s =
+    walled (fun () -> Synthetic.run_cell ~config:Config.default ~specs key)
+  in
+  let domains = max 2 (Pool.default_domains ()) in
+  let pool = Pool.create ~domains () in
+  Sfp_cache.reset_totals ();
+  Redundancy_opt.reset_eval_stats ();
+  let par, par_s =
+    walled (fun () ->
+        Synthetic.run_cell ~pool ~config:Config.default ~specs key)
+  in
+  let sfp = Sfp_cache.totals () in
+  let evals = Redundancy_opt.eval_stats () in
+  let identical =
+    seq.Synthetic.costs = par.Synthetic.costs
+    && seq.Synthetic.costs = memo.Synthetic.costs
+  in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  let memo_speedup = if memo_s > 0.0 then seq_s /. memo_s else 0.0 in
+  let work_ratio =
+    float_of_int seq_fresh /. float_of_int (max 1 evals.Redundancy_opt.fresh)
+  in
+  Printf.printf
+    "apps %d, domains %d (host: %d recommended)\n\
+     sequential (no memo): %.2fs wall, %d evaluations\n\
+     memoized, 1 domain:   %.2fs wall (%.2fx)\n\
+     memoized, %d domains:  %.2fs wall (%.2fx), %d evaluations (work \
+     ratio %.2fx)\n\
+     per-app costs identical: %b\n\
+     SFP cache: %d hits / %d misses (%.1f%% hit rate)\n\
+     eval cache: %d hits / %d misses\n%!"
+    apps domains
+    (Domain.recommended_domain_count ())
+    seq_s seq_fresh memo_s memo_speedup domains par_s speedup
+    evals.Redundancy_opt.fresh work_ratio identical sfp.Sfp_cache.total_hits
+    sfp.Sfp_cache.total_misses
+    (100.0 *. Sfp_cache.hit_rate sfp)
+    evals.Redundancy_opt.hits evals.Redundancy_opt.misses;
+  if Domain.recommended_domain_count () < 2 then
+    print_endline
+      "note: single-core host — the multi-domain run can only measure \
+       synchronization overhead; the speedup is the memoization share alone.";
+  if not identical then
+    failwith "bench: parallel run diverged from the sequential baseline";
+  save_csv "bench_par.csv"
+    [ [ "workload"; "apps"; "domains"; "seq_s"; "memo_s"; "par_s"; "speedup";
+        "memo_speedup"; "seq_evals"; "par_evals"; "work_ratio"; "identical";
+        "sfp_hits"; "sfp_misses"; "sfp_hit_rate"; "eval_hits"; "eval_misses" ];
+      [ "synthetic-opt-cell";
+        string_of_int apps;
+        string_of_int domains;
+        Printf.sprintf "%.4f" seq_s;
+        Printf.sprintf "%.4f" memo_s;
+        Printf.sprintf "%.4f" par_s;
+        Printf.sprintf "%.2f" speedup;
+        Printf.sprintf "%.2f" memo_speedup;
+        string_of_int seq_fresh;
+        string_of_int evals.Redundancy_opt.fresh;
+        Printf.sprintf "%.2f" work_ratio;
+        string_of_bool identical;
+        string_of_int sfp.Sfp_cache.total_hits;
+        string_of_int sfp.Sfp_cache.total_misses;
+        Printf.sprintf "%.4f" (Sfp_cache.hit_rate sfp);
+        string_of_int evals.Redundancy_opt.hits;
+        string_of_int evals.Redundancy_opt.misses ] ]
+
 let () =
   Printf.printf
     "FTES benchmark harness: reproduction of Izosimov, Polian, Pop, Eles, \
@@ -55,6 +152,9 @@ let () =
      Hardened Processors\" (DATE 2009).\n\
      population: %d applications (paper: 150), seed %d\n%!"
     apps seed;
+  section "Parallel + memoized exploration";
+  bench_parallel ~apps:(if quick then 8 else 24) ~seed;
+
   let suite = Synthetic.create_suite ~count:apps ~seed () in
 
   section "Fig. 6a — acceptance vs hardening performance degradation";

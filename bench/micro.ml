@@ -102,9 +102,37 @@ let test_generator =
           incr counter;
           Workload.generate_spec ~seed:13 ~index:!counter ~n_processes:40 ()))
 
+let test_pool_map =
+  Test.make ~name:"par: Pool.map overhead (2 domains, 64 tiny tasks)"
+    (Staged.stage
+       (let pool = Ftes_par.Pool.create ~domains:2 () in
+        let xs = List.init 64 Fun.id in
+        fun () -> Ftes_par.Pool.map ~pool (fun x -> x * x) xs))
+
+let test_sfp_cache =
+  Test.make ~name:"par: Sfp_cache hit (4 members, k<=12)"
+    (Staged.stage
+       (let problem = Lazy.force sample_problem in
+        let design = Lazy.force sample_design in
+        let cache = Ftes_par.Sfp_cache.create () in
+        fun () ->
+          Ftes_par.Sfp_cache.node_analysis cache problem design ~member:0
+            ~kmax:12))
+
+let test_redundancy_cached =
+  Test.make ~name:"opt: RedundancyOpt probe, memoized (40 procs, 4 nodes)"
+    (Staged.stage
+       (let problem = Lazy.force sample_problem in
+        let design = Lazy.force sample_design in
+        let cache = Ftes_core.Redundancy_opt.create_cache () in
+        fun () ->
+          Ftes_core.Redundancy_opt.probe ~cache ~config:Config.default problem
+            design))
+
 let tests =
   [ test_sfp_dp; test_sfp_enum; test_scheduler; test_reexec; test_redundancy;
-    test_mapping; test_strategy; test_simulator; test_generator ]
+    test_redundancy_cached; test_mapping; test_strategy; test_simulator;
+    test_generator; test_pool_map; test_sfp_cache ]
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in

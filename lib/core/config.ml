@@ -8,8 +8,10 @@ type t = {
   move_candidates : int;
   kmax : int;
   slack : Ftes_sched.Scheduler.slack_mode;
+  bus : Ftes_sched.Bus.policy;
   hardening : hardening_policy;
   certify : bool;
+  memoize : bool;
 }
 
 let default =
@@ -20,8 +22,10 @@ let default =
     move_candidates = 5;
     kmax = 12;
     slack = Ftes_sched.Scheduler.Shared;
+    bus = Ftes_sched.Bus.Fcfs;
     hardening = Optimize;
-    certify = false }
+    certify = false;
+    memoize = true }
 
 let min_strategy = { default with hardening = Fixed_min }
 let max_strategy = { default with hardening = Fixed_max }

@@ -24,15 +24,25 @@ type t = {
           at each tabu iteration. *)
   kmax : int;  (** per-node re-execution bound explored by the SFP search. *)
   slack : Ftes_sched.Scheduler.slack_mode;
+  bus : Ftes_sched.Bus.policy;
+      (** bus arbitration assumed by every schedulability test of the
+          search ([Fcfs] by default, matching the paper's setup). *)
   hardening : hardening_policy;
   certify : bool;
       (** when set, {!Design_strategy.run} passes every emitted design
           through the {!Ftes_verify} static verifier and attaches the
           report to the solution. *)
+  memoize : bool;
+      (** when set (the default), {!Design_strategy.run} memoizes the
+          SFP node tables ({!Ftes_par.Sfp_cache}) and whole candidate
+          evaluations across the search.  Results are bit-identical
+          either way; the flag exists so benchmarks and the determinism
+          test-suite can compare both paths. *)
 }
 
 val default : t
-(** [Optimize] policy, shared slack, tenure 3, stall 10, kmax 12. *)
+(** [Optimize] policy, shared slack, FCFS bus, tenure 3, stall 10,
+    kmax 12, memoization on. *)
 
 val min_strategy : t
 (** {!default} with [Fixed_min]. *)

@@ -43,21 +43,35 @@ let min_hardening_cost problem members =
     (fun acc j -> acc +. Problem.min_cost problem ~node:j)
     0.0 members
 
-let run ~config problem =
+let run ?pool ?cache ~config problem =
   let lib = Problem.n_library problem in
+  (* An externally supplied cache lets several runs over the same
+     problem (e.g. a hardening-policy sweep) share evaluations; it must
+     come from the same problem and a config differing at most in the
+     hardening policy. *)
+  let cache =
+    match cache with
+    | Some _ -> cache
+    | None ->
+        if config.Config.memoize then Some (Redundancy_opt.create_cache ())
+        else None
+  in
   let explored = ref 0 in
   let best = ref None in
   let best_cost = ref infinity in
+  (* Pure candidate score: no counter update, so the parallel walk can
+     evaluate speculatively and replay the bookkeeping during the
+     ordered merge. *)
   let evaluate_architecture members =
-    incr explored;
     match
-      Mapping_opt.run ~config ~objective:Mapping_opt.Schedule_length problem
-        ~members
+      Mapping_opt.run ?cache ?pool ~config
+        ~objective:Mapping_opt.Schedule_length problem ~members
     with
     | None -> `Unschedulable
     | Some sl_result ->
         let refined =
-          Mapping_opt.run ~config ~objective:Mapping_opt.Architecture_cost
+          Mapping_opt.run ?cache ?pool ~config
+            ~objective:Mapping_opt.Architecture_cost
             ~initial:sl_result.Redundancy_opt.design.Design.mapping problem
             ~members
         in
@@ -69,45 +83,118 @@ let run ~config problem =
         in
         `Schedulable result
   in
-  (* Walk architectures: same size fastest-first; an unschedulable
-     architecture jumps the walk to the next size (Fig. 5, line 15). *)
-  let rec walk n queue =
-    if n > lib then ()
-    else begin
-      match queue with
-      | [] -> walk (n + 1) (architectures_by_speed problem ~n:(n + 1))
-      | members :: rest ->
-          if min_hardening_cost problem members >= !best_cost then
-            walk n rest (* line 6: cannot beat the best-so-far cost *)
-          else begin
-            match evaluate_architecture members with
-            | `Unschedulable ->
-                walk (n + 1) (architectures_by_speed problem ~n:(n + 1))
-            | `Schedulable result ->
-                if result.Redundancy_opt.cost < !best_cost then begin
-                  best_cost := result.Redundancy_opt.cost;
-                  best := Some result
-                end;
-                walk n rest
-          end
+  let record (result : Redundancy_opt.result) =
+    if result.Redundancy_opt.cost < !best_cost then begin
+      best_cost := result.Redundancy_opt.cost;
+      best := Some result
     end
   in
-  walk 1 (architectures_by_speed problem ~n:1);
+  (* One size level, sequentially: fastest-first until the queue is
+     exhausted or an evaluated architecture is unschedulable (Fig. 5,
+     line 15: jump to the next size). *)
+  let rec size_level_seq = function
+    | [] -> ()
+    | members :: rest ->
+        if min_hardening_cost problem members >= !best_cost then
+          size_level_seq rest (* line 6: cannot beat the best-so-far *)
+        else begin
+          incr explored;
+          match evaluate_architecture members with
+          | `Unschedulable -> ()
+          | `Schedulable result ->
+              record result;
+              size_level_seq rest
+        end
+  in
+  (* Same level on a pool: score a batch of candidates speculatively in
+     parallel, then merge in speed order replaying exactly the
+     sequential prune / record / jump decisions.  Pre-pruning against
+     the best cost at batch entry is sound because the best cost only
+     decreases: a candidate pruned now would be pruned by the sequential
+     walk too, and one kept now is re-checked during the merge.
+     Batching bounds the speculative work evaluated beyond the
+     sequential walk's stopping point to one batch. *)
+  let size_level_par pool queue =
+    let batch_size = 2 * Ftes_par.Pool.domains pool in
+    (* Merge one scored batch; returns false when the walk must stop
+       (an evaluated architecture was unschedulable: Fig. 5 line 15). *)
+    let rec merge candidates results =
+      match (candidates, results) with
+      | [], [] -> true
+      | members :: candidates, result :: results ->
+          if min_hardening_cost problem members >= !best_cost then
+            merge candidates results
+          else begin
+            incr explored;
+            match result with
+            | `Unschedulable -> false
+            | `Schedulable result ->
+                record result;
+                merge candidates results
+          end
+      | _ -> assert false
+    in
+    let rec batches queue =
+      match queue with
+      | [] -> ()
+      | _ ->
+          let rec take n = function
+            | rest when n = 0 -> ([], rest)
+            | [] -> ([], [])
+            | x :: rest ->
+                let taken, rest = take (n - 1) rest in
+                (x :: taken, rest)
+          in
+          let batch, rest = take batch_size queue in
+          let candidates =
+            List.filter
+              (fun members -> min_hardening_cost problem members < !best_cost)
+              batch
+          in
+          let results =
+            Ftes_par.Pool.map ~pool evaluate_architecture candidates
+          in
+          if merge candidates results then batches rest
+    in
+    batches queue
+  in
+  let size_level =
+    match pool with
+    | Some pool
+      when Ftes_par.Pool.domains pool > 1 && not (Ftes_par.Pool.in_worker ())
+      ->
+        size_level_par pool
+    | Some _ | None -> size_level_seq
+  in
+  for n = 1 to lib do
+    size_level (architectures_by_speed problem ~n)
+  done;
   Option.map
     (fun (result : Redundancy_opt.result) ->
       let design = result.Redundancy_opt.design in
       let schedule =
-        Scheduler.schedule ~slack:config.Config.slack problem design
+        Scheduler.schedule ~slack:config.Config.slack ~bus:config.Config.bus
+          problem design
+      in
+      let analyses =
+        match cache with
+        | Some cache ->
+            let sfp = Redundancy_opt.sfp_cache cache in
+            Array.init (Design.n_members design) (fun member ->
+                Ftes_par.Sfp_cache.node_analysis sfp problem design ~member
+                  ~kmax:(Sfp.analysis_kmax design ~member))
+        | None -> Sfp.analyses_for problem design
       in
       let certificate =
         if config.Config.certify then
           Some
-            (Ftes_verify.Verify.certify ~slack:config.Config.slack problem
-               design schedule)
+            (Ftes_verify.Verify.certify ~slack:config.Config.slack
+               ~bus:config.Config.bus ~sfp_tables:analyses problem design
+               schedule)
         else None
       in
       { result;
-        verdict = Sfp.evaluate problem design;
+        verdict = Sfp.evaluate_analyses problem design ~analyses;
         schedule;
         explored = !explored;
         certificate })

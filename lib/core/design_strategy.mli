@@ -27,10 +27,31 @@ val architectures_by_speed : Ftes_model.Problem.t -> n:int -> int array list
     (ascending sum of the nodes' mean minimum-hardening WCETs) —
     [SelectArch] / [SelectNextArch] of Fig. 5. *)
 
-val run : config:Config.t -> Ftes_model.Problem.t -> solution option
+val run :
+  ?pool:Ftes_par.Pool.t ->
+  ?cache:Redundancy_opt.cache ->
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  solution option
 (** The full strategy.  Returns the cheapest solution that meets both
     the deadline and the reliability goal, or [None] when no explored
-    architecture admits one. *)
+    architecture admits one.
+
+    When [pool] spans more than one domain, the candidate architectures
+    of each size level are scored concurrently (speculatively) and the
+    results merged back in speed order, replaying the sequential prune
+    and size-jump decisions — the returned solution, its schedule and
+    the [explored] counter are bit-identical to a sequential run.  When
+    {!Config.t.memoize} is set, SFP node tables and whole candidate
+    evaluations are shared across the walk through a per-run
+    {!Redundancy_opt.cache}, which likewise never changes any result.
+
+    [cache] overrides the per-run cache, letting several runs over the
+    {e same problem} share evaluations — e.g. a MIN / MAX / OPT
+    hardening-policy sweep, for which candidate evaluations coincide
+    (probe outcomes are segregated by policy inside the cache).  The
+    configs of all sharing runs must agree except in
+    {!Config.t.hardening}. *)
 
 val accepted : ?max_cost:float -> solution option -> bool
 (** The acceptance criterion of the experimental evaluation: a solution

@@ -69,52 +69,78 @@ let iter_levels problem members f =
   in
   loop ()
 
-let run ?(limit = 2_000_000) ~config problem =
+let run ?pool ?(limit = 2_000_000) ~config problem =
   let space = search_space problem in
   if space > float_of_int limit then
     invalid_arg
       (Printf.sprintf "Exhaustive.run: %.3g candidates exceed the limit %d"
          space limit);
+  let cache =
+    if config.Config.memoize then Some (Ftes_par.Sfp_cache.create ()) else None
+  in
   let n = Problem.n_processes problem in
   let d = deadline problem in
-  let best = ref None in
-  let better (cost, sl) =
-    match !best with
+  let better ~best (cost, sl) =
+    match best with
     | None -> true
     | Some (r : Redundancy_opt.result) ->
         cost < r.Redundancy_opt.cost -. 1e-9
         || (Float.abs (cost -. r.Redundancy_opt.cost) <= 1e-9
             && sl < r.Redundancy_opt.schedule_length -. 1e-9)
   in
-  List.iter
-    (fun members ->
-      let m = Array.length members in
-      iter_levels problem members (fun levels ->
-          (* Architecture cost is mapping-independent: prune early. *)
-          let cost =
-            Array.to_list members
-            |> List.mapi (fun slot j -> Problem.cost problem ~node:j ~level:levels.(slot))
-            |> List.fold_left ( +. ) 0.0
-          in
-          if better (cost, 0.0) then
-            iter_mappings ~n ~m (fun mapping ->
-                let design =
-                  Design.make problem ~members ~levels
-                    ~reexecs:(Array.make m 0) ~mapping
-                in
-                match
-                  Re_execution_opt.optimize ~kmax:config.Config.kmax problem
-                    design
-                with
-                | None -> ()
-                | Some design ->
-                    let sl =
-                      Scheduler.schedule_length ~slack:config.Config.slack
-                        problem design
-                    in
-                    if sl <= d +. 1e-9 && better (cost, sl) then
-                      best :=
-                        Some
-                          { Redundancy_opt.design; schedule_length = sl; cost })))
-    (subsets (Problem.n_library problem));
-  !best
+  (* Fold one architecture subset, starting from [init].  Pruning a
+     level vector whose cost cannot beat the incumbent is sound because
+     [better (cost, sl)] implies [better (cost, 0.0)] (schedule lengths
+     are non-negative). *)
+  let search_subset init members =
+    let best = ref init in
+    let m = Array.length members in
+    iter_levels problem members (fun levels ->
+        (* Architecture cost is mapping-independent: prune early. *)
+        let cost =
+          Array.to_list members
+          |> List.mapi (fun slot j ->
+                 Problem.cost problem ~node:j ~level:levels.(slot))
+          |> List.fold_left ( +. ) 0.0
+        in
+        if better ~best:!best (cost, 0.0) then
+          iter_mappings ~n ~m (fun mapping ->
+              let design =
+                Design.make problem ~members ~levels
+                  ~reexecs:(Array.make m 0) ~mapping
+              in
+              match
+                Re_execution_opt.optimize ?cache ~kmax:config.Config.kmax
+                  problem design
+              with
+              | None -> ()
+              | Some design ->
+                  let sl =
+                    Scheduler.schedule_length ~slack:config.Config.slack
+                      ~bus:config.Config.bus problem design
+                  in
+                  if sl <= d +. 1e-9 && better ~best:!best (cost, sl) then
+                    best :=
+                      Some
+                        { Redundancy_opt.design; schedule_length = sl; cost }));
+    !best
+  in
+  let all_subsets = subsets (Problem.n_library problem) in
+  match pool with
+  | Some p
+    when Ftes_par.Pool.domains p > 1 && not (Ftes_par.Pool.in_worker ()) ->
+      (* Each subset is searched independently (without the cross-subset
+         incumbent, so some pruning is lost) and the per-subset winners
+         are merged in subset order, reproducing the sequential
+         first-wins tie-breaking. *)
+      Ftes_par.Pool.map ~pool:p (search_subset None) all_subsets
+      |> List.fold_left
+           (fun best -> function
+             | Some (r : Redundancy_opt.result)
+               when better ~best
+                      (r.Redundancy_opt.cost, r.Redundancy_opt.schedule_length)
+               ->
+                 Some r
+             | Some _ | None -> best)
+           None
+  | Some _ | None -> List.fold_left search_subset None all_subsets

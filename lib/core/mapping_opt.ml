@@ -16,9 +16,9 @@ let design_of problem ~members ~mapping =
   Design.make problem ~members ~levels:(Array.make m 1)
     ~reexecs:(Array.make m 0) ~mapping
 
-let evaluate config objective problem ~members mapping =
+let evaluate ?cache config objective problem ~members mapping =
   let design = design_of problem ~members ~mapping in
-  let solution, best_len = Redundancy_opt.probe ~config problem design in
+  let solution, best_len = Redundancy_opt.probe ?cache ~config problem design in
   let score : score =
     match objective with
     | Schedule_length ->
@@ -104,7 +104,7 @@ let better objective (a : Redundancy_opt.result) (b : Redundancy_opt.result) =
       a.Redundancy_opt.schedule_length < b.Redundancy_opt.schedule_length
   | Architecture_cost -> a.Redundancy_opt.cost < b.Redundancy_opt.cost
 
-let run ~config ~objective ?initial problem ~members =
+let run ?cache ?pool ~config ~objective ?initial problem ~members =
   let n = Problem.n_processes problem in
   let m = Array.length members in
   let mapping =
@@ -120,7 +120,9 @@ let run ~config ~objective ?initial problem ~members =
         | Some b when not (better objective r b) -> ()
         | Some _ | None -> best_solution := Some r)
   in
-  let solution, initial_score = evaluate config objective problem ~members mapping in
+  let solution, initial_score =
+    evaluate ?cache config objective problem ~members mapping
+  in
   consider solution;
   if m <= 1 || n = 0 then !best_solution
   else begin
@@ -138,25 +140,34 @@ let run ~config ~objective ?initial problem ~members =
             critical
           |> List.filteri (fun i _ -> i < config.Config.move_candidates)
         in
-        (* Evaluate every re-mapping of every candidate. *)
-        let moves =
+        (* Evaluate every re-mapping of every candidate.  Moves are
+           independent (each is scored on its own copy of the mapping),
+           so they can run on the pool; [consider] then folds the
+           solutions back sequentially in move order, which keeps the
+           first-wins tie-breaking identical to a sequential scan. *)
+        let move_specs =
           List.concat_map
             (fun p ->
               List.filter_map
                 (fun slot ->
-                  if slot = mapping.(p) then None
-                  else begin
-                    let old = mapping.(p) in
-                    mapping.(p) <- slot;
-                    let solution, score =
-                      evaluate config objective problem ~members mapping
-                    in
-                    mapping.(p) <- old;
-                    consider solution;
-                    Some (p, slot, score)
-                  end)
+                  if slot = mapping.(p) then None else Some (p, slot))
                 (List.init m Fun.id))
             candidates
+        in
+        let evaluated =
+          Ftes_par.Pool.map ?pool
+            (fun (p, slot) ->
+              let candidate = Array.copy mapping in
+              candidate.(p) <- slot;
+              let solution, score =
+                evaluate ?cache config objective problem ~members candidate
+              in
+              (p, slot, solution, score))
+            move_specs
+        in
+        List.iter (fun (_, _, solution, _) -> consider solution) evaluated;
+        let moves =
+          List.map (fun (p, slot, _, score) -> (p, slot, score)) evaluated
         in
         match moves with
         | [] -> ()

@@ -26,6 +26,8 @@ val initial_mapping :
     the tabu starting point. *)
 
 val run :
+  ?cache:Redundancy_opt.cache ->
+  ?pool:Ftes_par.Pool.t ->
   config:Config.t ->
   objective:objective ->
   ?initial:int array ->
@@ -39,4 +41,10 @@ val run :
 
     With [Architecture_cost], the returned solution is the cheapest
     schedulable one; with [Schedule_length] it is the schedulable
-    solution of minimum worst-case schedule length. *)
+    solution of minimum worst-case schedule length.
+
+    [cache] memoizes candidate evaluations across tabu iterations;
+    [pool] scores the moves of one iteration concurrently.  Both leave
+    the returned solution bit-identical to the sequential, uncached
+    search: moves are evaluated on private copies of the mapping and
+    merged back in move order. *)

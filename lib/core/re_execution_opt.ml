@@ -3,12 +3,16 @@ module Application = Ftes_model.Application
 module Problem = Ftes_model.Problem
 module Sfp = Ftes_sfp.Sfp
 
-let for_mapping ?(kmax = Sfp.default_kmax) problem design =
+let for_mapping ?cache ?(kmax = Sfp.default_kmax) problem design =
   let members = Design.n_members design in
-  let analyses =
-    Array.init members (fun member ->
-        Sfp.node_analysis ~kmax (Design.pfail_vector problem design ~member))
+  let analyse member =
+    match cache with
+    | Some cache ->
+        Ftes_par.Sfp_cache.node_analysis cache problem design ~member ~kmax
+    | None ->
+        Sfp.node_analysis ~kmax (Design.pfail_vector problem design ~member)
   in
+  let analyses = Array.init members analyse in
   let app = problem.Problem.app in
   let iterations = Application.iterations_per_hour app in
   let goal = Application.reliability_goal app in
@@ -46,5 +50,6 @@ let for_mapping ?(kmax = Sfp.default_kmax) problem design =
   in
   grow (reliability_of k)
 
-let optimize ?kmax problem design =
-  Option.map (Design.with_reexecs design) (for_mapping ?kmax problem design)
+let optimize ?cache ?kmax problem design =
+  Option.map (Design.with_reexecs design)
+    (for_mapping ?cache ?kmax problem design)

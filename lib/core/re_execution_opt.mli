@@ -10,6 +10,7 @@
     1-10^-3 -> 1-10^-4). *)
 
 val for_mapping :
+  ?cache:Ftes_par.Sfp_cache.t ->
   ?kmax:int ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
@@ -17,9 +18,12 @@ val for_mapping :
 (** [for_mapping problem design] ignores [design.reexecs] and returns
     the computed re-execution vector, or [None] when the goal cannot be
     reached with at most [kmax] (default {!Ftes_sfp.Sfp.default_kmax})
-    re-executions per node at the design's hardening levels. *)
+    re-executions per node at the design's hardening levels.  When
+    [cache] is given, the per-node SFP tables are served from it
+    (bit-identical to fresh computation). *)
 
 val optimize :
+  ?cache:Ftes_par.Sfp_cache.t ->
   ?kmax:int ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->

@@ -8,18 +8,150 @@ type result = {
   cost : float;
 }
 
+(* A candidate evaluation is a pure function of (members, levels,
+   mapping): [evaluate] overwrites the levels and the reexecs, and the
+   config is fixed for one optimization run.  The tabu mapping search
+   and the hardening escalation/reduction revisit the same triples many
+   times, so whole results are memoized alongside the SFP node
+   tables. *)
+type eval_key = { members : int array; levels : int array; mapping : int array }
+
+(* [probe] and [run] ignore the input levels on top of that (the level
+   search overwrites them), so whole probe outcomes are additionally
+   memoized on just (policy, members, mapping) — the tabu search
+   re-probes the same mapping whenever a move is revisited, and the
+   architecture-cost refinement pass re-probes every mapping the
+   schedule-length pass already solved.  The hardening policy is part of
+   the key (unlike [evaluate], a probe's outcome depends on it), which
+   lets one cache serve the MIN / MAX / OPT cells of a policy sweep. *)
+type probe_key = {
+  pr_policy : Config.hardening_policy;
+  pr_members : int array;
+  pr_mapping : int array;
+}
+
+(* The generic polymorphic hash samples only a prefix of the structure;
+   cache keys share their [members] / [levels] prefixes across thousands
+   of entries, which would collapse the tables into linear chains.  Hash
+   every element (FNV-style) instead. *)
+let hash_ints h arr =
+  Array.fold_left (fun h x -> (h * 0x01000193) lxor (x + 1)) h arr
+
+let policy_tag = function
+  | Config.Fixed_min -> 1
+  | Config.Fixed_max -> 2
+  | Config.Optimize -> 3
+
+module Eval_tbl = Hashtbl.Make (struct
+  type t = eval_key
+
+  let equal a b =
+    a.mapping = b.mapping && a.levels = b.levels && a.members = b.members
+
+  let hash k = hash_ints (hash_ints (hash_ints 0x811c9dc5 k.members) k.levels) k.mapping
+end)
+
+module Probe_tbl = Hashtbl.Make (struct
+  type t = probe_key
+
+  let equal a b =
+    a.pr_policy = b.pr_policy
+    && a.pr_mapping = b.pr_mapping
+    && a.pr_members = b.pr_members
+
+  let hash k =
+    hash_ints
+      (hash_ints (0x811c9dc5 + policy_tag k.pr_policy) k.pr_members)
+      k.pr_mapping
+end)
+
+type cache = {
+  sfp : Ftes_par.Sfp_cache.t;
+  evals : result option Eval_tbl.t;
+  probes : (result option * float) Probe_tbl.t;
+  mutex : Mutex.t;
+  max_evals : int;
+}
+
+let create_cache ?(max_evals = 200_000) () =
+  { sfp = Ftes_par.Sfp_cache.create ();
+    evals = Eval_tbl.create 1024;
+    probes = Probe_tbl.create 1024;
+    mutex = Mutex.create ();
+    max_evals }
+
+let sfp_cache cache = cache.sfp
+
+let eval_hits = Atomic.make 0
+
+let eval_misses = Atomic.make 0
+
+type eval_stats = { hits : int; misses : int; fresh : int }
+
+let fresh_evals = Atomic.make 0
+
+let eval_stats () =
+  { hits = Atomic.get eval_hits;
+    misses = Atomic.get eval_misses;
+    fresh = Atomic.get fresh_evals }
+
+let reset_eval_stats () =
+  Atomic.set eval_hits 0;
+  Atomic.set eval_misses 0;
+  Atomic.set fresh_evals 0
+
 let deadline problem =
   problem.Problem.app.Ftes_model.Application.deadline_ms
 
-let evaluate config problem design levels =
+let evaluate_fresh ?sfp config problem design levels =
+  Atomic.incr fresh_evals;
   let d = Design.with_levels design levels in
-  match Re_execution_opt.optimize ~kmax:config.Config.kmax problem d with
+  match
+    Re_execution_opt.optimize ?cache:sfp ~kmax:config.Config.kmax problem d
+  with
   | None -> None
   | Some d ->
       let schedule_length =
-        Scheduler.schedule_length ~slack:config.Config.slack problem d
+        Scheduler.schedule_length ~slack:config.Config.slack
+          ~bus:config.Config.bus problem d
       in
       Some { design = d; schedule_length; cost = Design.cost problem d }
+
+let locked cache f =
+  Mutex.lock cache.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.mutex) f
+
+let evaluate ?cache config problem design levels =
+  match cache with
+  | None -> evaluate_fresh config problem design levels
+  | Some cache -> (
+      (* Lookups borrow the live arrays; only an insert snapshots them
+         (the caller may mutate its levels array after we return). *)
+      let key =
+        { members = design.Design.members;
+          levels;
+          mapping = design.Design.mapping }
+      in
+      match locked cache (fun () -> Eval_tbl.find_opt cache.evals key) with
+      | Some result ->
+          Atomic.incr eval_hits;
+          result
+      | None ->
+          Atomic.incr eval_misses;
+          (* Compute outside the lock; a duplicated concurrent
+             evaluation of the same pure key is harmless. *)
+          let result =
+            evaluate_fresh ~sfp:cache.sfp config problem design levels
+          in
+          let key =
+            { members = Array.copy design.Design.members;
+              levels = Array.copy levels;
+              mapping = Array.copy design.Design.mapping }
+          in
+          locked cache (fun () ->
+              if Eval_tbl.length cache.evals < cache.max_evals then
+                Eval_tbl.replace cache.evals key result);
+          result)
 
 let min_levels design = Array.map (fun _ -> 1) design.Design.members
 
@@ -30,10 +162,10 @@ let max_levels problem design =
    shortens the schedule the most, until schedulable or saturated.
    Returns the first schedulable result (if any) and the best schedule
    length seen anywhere along the way. *)
-let escalate config problem design =
+let escalate ?cache config problem design =
   let d = deadline problem in
   let rec climb levels best_len =
-    let here = evaluate config problem design levels in
+    let here = evaluate ?cache config problem design levels in
     let best_len =
       match here with
       | Some r -> Float.min best_len r.schedule_length
@@ -50,7 +182,7 @@ let escalate config problem design =
             let candidate = Array.copy levels in
             candidate.(j) <- candidate.(j) + 1;
             let len =
-              match evaluate config problem design candidate with
+              match evaluate ?cache config problem design candidate with
               | Some r -> r.schedule_length
               | None -> infinity
             in
@@ -67,7 +199,7 @@ let escalate config problem design =
 
 (* Reduction: keep taking the cheapest schedulable single-level
    decrease. *)
-let reduce config problem design (current : result) =
+let reduce ?cache config problem design (current : result) =
   let d = deadline problem in
   let rec descend (current : result) =
     let levels = current.design.Design.levels in
@@ -77,7 +209,7 @@ let reduce config problem design (current : result) =
       if levels.(j) > 1 then begin
         let candidate = Array.copy levels in
         candidate.(j) <- candidate.(j) - 1;
-        match evaluate config problem design candidate with
+        match evaluate ?cache config problem design candidate with
         | Some r when Ftes_util.Tolerance.leq r.schedule_length d -> (
             match !best with
             | Some (br : result) when br.cost <= r.cost -> ()
@@ -91,49 +223,79 @@ let reduce config problem design (current : result) =
   in
   descend current
 
-let fixed_levels config problem design levels =
+let fixed_levels ?cache config problem design levels =
   let d = deadline problem in
-  match evaluate config problem design levels with
+  match evaluate ?cache config problem design levels with
   | Some r when Ftes_util.Tolerance.leq r.schedule_length d -> Some r
   | Some _ | None -> None
 
-let run ~config problem design =
+let run ?cache ~config problem design =
   match config.Config.hardening with
-  | Config.Fixed_min -> fixed_levels config problem design (min_levels design)
+  | Config.Fixed_min ->
+      fixed_levels ?cache config problem design (min_levels design)
   | Config.Fixed_max ->
-      fixed_levels config problem design (max_levels problem design)
+      fixed_levels ?cache config problem design (max_levels problem design)
   | Config.Optimize -> (
-      match escalate config problem design with
-      | Some r, _ -> Some (reduce config problem design r)
+      match escalate ?cache config problem design with
+      | Some r, _ -> Some (reduce ?cache config problem design r)
       | None, _ -> None)
 
-let probe_fixed config problem design levels =
-  match evaluate config problem design levels with
+let probe_fixed ?cache config problem design levels =
+  match evaluate ?cache config problem design levels with
   | Some r ->
       let ok = Ftes_util.Tolerance.leq r.schedule_length (deadline problem) in
       ((if ok then Some r else None), r.schedule_length)
   | None -> (None, infinity)
 
-let probe ~config problem design =
+let probe_uncached ?cache ~config problem design =
   match config.Config.hardening with
-  | Config.Fixed_min -> probe_fixed config problem design (min_levels design)
+  | Config.Fixed_min ->
+      probe_fixed ?cache config problem design (min_levels design)
   | Config.Fixed_max ->
-      probe_fixed config problem design (max_levels problem design)
+      probe_fixed ?cache config problem design (max_levels problem design)
   | Config.Optimize -> (
-      match escalate config problem design with
-      | Some r, best_len -> (Some (reduce config problem design r), best_len)
+      match escalate ?cache config problem design with
+      | Some r, best_len ->
+          (Some (reduce ?cache config problem design r), best_len)
       | None, best_len -> (None, best_len))
 
-let best_effort_length ~config problem design =
+let probe ?cache ~config problem design =
+  match cache with
+  | None -> probe_uncached ~config problem design
+  | Some cache -> (
+      let key =
+        { pr_policy = config.Config.hardening;
+          pr_members = design.Design.members;
+          pr_mapping = design.Design.mapping }
+      in
+      match locked cache (fun () -> Probe_tbl.find_opt cache.probes key) with
+      | Some outcome ->
+          Atomic.incr eval_hits;
+          outcome
+      | None ->
+          Atomic.incr eval_misses;
+          let outcome = probe_uncached ~cache ~config problem design in
+          let key =
+            { key with
+              pr_members = Array.copy design.Design.members;
+              pr_mapping = Array.copy design.Design.mapping }
+          in
+          locked cache (fun () ->
+              if Probe_tbl.length cache.probes < cache.max_evals then
+                Probe_tbl.replace cache.probes key outcome);
+          outcome)
+
+let best_effort_length ?cache ~config problem design =
   match config.Config.hardening with
   | Config.Fixed_min -> (
-      match evaluate config problem design (min_levels design) with
+      match evaluate ?cache config problem design (min_levels design) with
       | Some r -> r.schedule_length
       | None -> infinity)
   | Config.Fixed_max -> (
-      match evaluate config problem design (max_levels problem design) with
+      match evaluate ?cache config problem design (max_levels problem design)
+      with
       | Some r -> r.schedule_length
       | None -> infinity)
   | Config.Optimize ->
-      let _, best_len = escalate config problem design in
+      let _, best_len = escalate ?cache config problem design in
       best_len

@@ -23,7 +23,41 @@ type result = {
   cost : float;
 }
 
+type cache
+(** Memoization shared by one optimization run: the SFP node-table
+    cache, a table of whole candidate evaluations keyed on
+    [(members, levels, mapping)] — a pure key because {!run} overwrites
+    levels and reexecs and the config is fixed per run — and a table of
+    whole {!probe} outcomes keyed on [(policy, members, mapping)].
+    Domain-safe; caching never changes any result.
+
+    One cache may also be shared by several runs over the same problem
+    whose configs differ only in the hardening policy (probe outcomes
+    carry the policy in their key; candidate evaluations are
+    policy-independent). *)
+
+val create_cache : ?max_evals:int -> unit -> cache
+(** Fresh cache; at most [max_evals] (default 200_000) candidate
+    evaluations are retained. *)
+
+val sfp_cache : cache -> Ftes_par.Sfp_cache.t
+(** The SFP node-table layer of [cache], for hit-rate reporting and for
+    attaching tables to verifier subjects. *)
+
+type eval_stats = { hits : int; misses : int; fresh : int }
+(** [hits] / [misses] count candidate-evaluation and probe cache
+    lookups; [fresh] counts evaluations actually computed (re-execution
+    optimization plus one schedule), with or without a cache — the
+    ratio of [fresh] counts between two runs is a hardware-independent
+    measure of the work a cache saves. *)
+
+val eval_stats : unit -> eval_stats
+(** Process-wide counters, aggregated over every {!cache} instance. *)
+
+val reset_eval_stats : unit -> unit
+
 val run :
+  ?cache:cache ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
@@ -34,6 +68,7 @@ val run :
     the application both schedulable and reliable. *)
 
 val probe :
+  ?cache:cache ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
@@ -44,7 +79,11 @@ val probe :
     schedulable ones. *)
 
 val best_effort_length :
-  config:Config.t -> Ftes_model.Problem.t -> Ftes_model.Design.t -> float
+  ?cache:cache ->
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  float
 (** The shortest worst-case schedule length reachable by the policy for
     this mapping, even if it misses the deadline ([infinity] when the
     reliability goal is unreachable at every hardening vector).  Used as

@@ -26,7 +26,7 @@ let design_on_all_nodes problem =
 
 type slack_row = { mode : string; feasible_pct : float; mean_cost : float }
 
-let slack_ablation ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
+let slack_ablation ?pool ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
   let specs = population ~count ~seed in
   let cell = { Workload.ser; hpd } in
   let modes =
@@ -39,10 +39,10 @@ let slack_ablation ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
       (fun (name, slack) ->
         let config = { Config.default with Config.slack } in
         let costs =
-          List.map
+          Ftes_par.Pool.map ?pool
             (fun spec ->
               let problem = Workload.problem_of_spec cell spec in
-              Design_strategy.run ~config problem
+              Design_strategy.run ?pool ~config problem
               |> Option.map (fun (s : Design_strategy.solution) ->
                      s.Design_strategy.result.Redundancy_opt.cost))
             specs
@@ -91,7 +91,7 @@ type mapping_row = {
   mean_cost : float;
 }
 
-let mapping_ablation ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
+let mapping_ablation ?pool ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
   let specs = population ~count ~seed in
   let cell = { Workload.ser; hpd } in
   let variants =
@@ -102,13 +102,14 @@ let mapping_ablation ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
   List.map
     (fun (variant, config) ->
       let costs =
-        List.filter_map
+        Ftes_par.Pool.map ?pool
           (fun spec ->
             let problem = Workload.problem_of_spec cell spec in
-            Design_strategy.run ~config problem
+            Design_strategy.run ?pool ~config problem
             |> Option.map (fun (s : Design_strategy.solution) ->
                    s.Design_strategy.result.Redundancy_opt.cost))
           specs
+        |> List.filter_map Fun.id
       in
       let accepted = List.filter (fun c -> c <= 20.0 +. 1e-9) costs in
       { variant;
@@ -522,17 +523,20 @@ type optimism_row = {
   surviving_deadline_miss_rate : float;
 }
 
-let optimism ?(count = 5) ?(trials = 20_000) ?(boost = 2000.0) ~seed () =
+let optimism ?pool ?(count = 5) ?(trials = 20_000) ?(boost = 2000.0) ~seed () =
   let specs = population ~count ~seed in
   let cell = { Workload.ser = 1e-11; hpd = 0.25 } in
-  List.filter_map
-    (fun (spec : Workload.app_spec) ->
+  (* Streams are split from the master PRNG in spec order before any
+     parallelism, so the campaign of each application is bit-identical
+     across domain counts. *)
+  let master = Prng.create seed in
+  Ftes_par.Pool.map_seeded ?pool ~prng:master
+    (fun prng (spec : Workload.app_spec) ->
       let problem = Workload.problem_of_spec cell spec in
-      match Design_strategy.run ~config:Config.default problem with
+      match Design_strategy.run ?pool ~config:Config.default problem with
       | None -> None
       | Some s ->
           let design = s.Design_strategy.result.Redundancy_opt.design in
-          let prng = Prng.create (seed + spec.Workload.index) in
           let schedule = Scheduler.schedule problem design in
           let deadline =
             problem.Ftes_model.Problem.app.Ftes_model.Application.deadline_ms
@@ -558,6 +562,7 @@ let optimism ?(count = 5) ?(trials = 20_000) ?(boost = 2000.0) ~seed () =
                 (if !survived = 0 then 0.0
                  else float_of_int !misses /. float_of_int !survived) })
     specs
+  |> List.filter_map Fun.id
 
 let render_optimism rows =
   let table =

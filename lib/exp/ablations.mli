@@ -14,9 +14,11 @@ type slack_row = {
 }
 
 val slack_ablation :
+  ?pool:Ftes_par.Pool.t ->
   ?count:int -> ?ser:float -> ?hpd:float -> seed:int -> unit -> slack_row list
 (** OPT under Shared / Conservative / Dedicated slack on a synthetic
-    population (defaults: 40 apps, SER 1e-11, HPD 25%). *)
+    population (defaults: 40 apps, SER 1e-11, HPD 25%).  [pool] runs
+    the applications of each mode concurrently. *)
 
 val render_slack : slack_row list -> string
 
@@ -27,6 +29,7 @@ type mapping_row = {
 }
 
 val mapping_ablation :
+  ?pool:Ftes_par.Pool.t ->
   ?count:int -> ?ser:float -> ?hpd:float -> seed:int -> unit -> mapping_row list
 (** OPT with the full tabu search vs. the greedy initial mapping only
     (tabu iterations set to zero). *)
@@ -148,9 +151,13 @@ type optimism_row = {
 }
 
 val optimism :
+  ?pool:Ftes_par.Pool.t ->
   ?count:int -> ?trials:int -> ?boost:float -> seed:int -> unit -> optimism_row list
 (** Validate the SFP prediction and measure the shared-slack optimism on
     OPT solutions of a small population (defaults: 5 apps, 20_000
-    trials, boost 2000). *)
+    trials, boost 2000).  Each application's fault-injection campaign
+    draws from its own PRNG stream, split from the master seed in spec
+    order before any parallelism, so the rows do not depend on the
+    domain count. *)
 
 val render_optimism : optimism_row list -> string

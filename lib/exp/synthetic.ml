@@ -11,15 +11,15 @@ type cell_run = {
   elapsed_s : float;
 }
 
-let run_cell ?params ?(config = Config.default) ~specs key =
+let run_cell ?pool ?params ?(config = Config.default) ~specs key =
   let config = { config with Config.hardening = key.policy } in
   let cell = { Workload.ser = key.ser; hpd = key.hpd } in
   let t0 = Sys.time () in
   let costs =
     specs
-    |> List.map (fun spec ->
+    |> Ftes_par.Pool.map ?pool (fun spec ->
            let problem = Workload.problem_of_spec ?params cell spec in
-           Design_strategy.run ~config problem
+           Design_strategy.run ?pool ~config problem
            |> Option.map (fun (s : Design_strategy.solution) ->
                   s.Design_strategy.result.Redundancy_opt.cost))
     |> Array.of_list
@@ -52,16 +52,18 @@ type suite = {
   specs : Workload.app_spec list;
   params : Workload.params option;
   config : Config.t;
+  pool : Ftes_par.Pool.t option;
   table : (cell_key, cell_run) Hashtbl.t;
 }
 
-let create_suite ?params ?(config = Config.default) ?(count = 150) ~seed () =
+let create_suite ?pool ?params ?(config = Config.default) ?(count = 150) ~seed
+    () =
   let specs =
     match params with
     | Some params -> Workload.paper_suite ~params ~count ~seed ()
     | None -> Workload.paper_suite ~count ~seed ()
   in
-  { specs; params; config; table = Hashtbl.create 32 }
+  { specs; params; config; pool; table = Hashtbl.create 32 }
 
 let suite_specs suite = suite.specs
 
@@ -70,8 +72,8 @@ let cell suite key =
   | Some run -> run
   | None ->
       let run =
-        run_cell ?params:suite.params ~config:suite.config ~specs:suite.specs
-          key
+        run_cell ?pool:suite.pool ?params:suite.params ~config:suite.config
+          ~specs:suite.specs key
       in
       Hashtbl.replace suite.table key run;
       run

@@ -25,13 +25,17 @@ type cell_run = {
 }
 
 val run_cell :
+  ?pool:Ftes_par.Pool.t ->
   ?params:Ftes_gen.Workload.params ->
   ?config:Ftes_core.Config.t ->
   specs:Ftes_gen.Workload.app_spec list ->
   cell_key ->
   cell_run
 (** Run one cell over a fixed application population.  [config]'s
-    hardening policy is overridden by the cell's. *)
+    hardening policy is overridden by the cell's.  With a multi-domain
+    [pool] the (independent) applications are optimized concurrently;
+    the per-application results and their order are bit-identical to a
+    sequential run.  [elapsed_s] is CPU time, summed over domains. *)
 
 val acceptance : cell_run -> max_cost:float -> float
 (** Percentage (0-100) of applications accepted at the given maximum
@@ -44,6 +48,7 @@ val feasibility : cell_run -> float
 type suite
 
 val create_suite :
+  ?pool:Ftes_par.Pool.t ->
   ?params:Ftes_gen.Workload.params ->
   ?config:Ftes_core.Config.t ->
   ?count:int ->
@@ -51,7 +56,8 @@ val create_suite :
   unit ->
   suite
 (** Generates the application population once (default 150 apps, half
-    with 20 and half with 40 processes). *)
+    with 20 and half with 40 processes).  [pool] is used by every
+    {!cell} computation. *)
 
 val suite_specs : suite -> Ftes_gen.Workload.app_spec list
 

@@ -1,0 +1,93 @@
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Sfp = Ftes_sfp.Sfp
+
+type key = { node : int; level : int; kmax : int; procs : int array }
+
+(* The generic polymorphic hash samples only a prefix of the structure,
+   so keys differing late in [procs] would chain; hash every element. *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b =
+    a.node = b.node && a.level = b.level && a.kmax = b.kmax
+    && a.procs = b.procs
+
+  let hash k =
+    let h = 0x811c9dc5 + k.node + (31 * k.level) + (961 * k.kmax) in
+    Array.fold_left (fun h x -> (h * 0x01000193) lxor (x + 1)) h k.procs
+end)
+
+type t = {
+  table : Sfp.node_analysis Key_tbl.t;
+  mutex : Mutex.t;
+  max_entries : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let global_hits = Atomic.make 0
+
+let global_misses = Atomic.make 0
+
+let create ?(max_entries = 1 lsl 18) () =
+  if max_entries < 1 then invalid_arg "Sfp_cache.create: empty capacity";
+  { table = Key_tbl.create 1024;
+    mutex = Mutex.create ();
+    max_entries;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let node_analysis t problem design ~member ~kmax =
+  let key =
+    { node = design.Design.members.(member);
+      level = design.Design.levels.(member);
+      kmax;
+      procs = Array.of_list (Design.procs_on design ~member) }
+  in
+  match locked t (fun () -> Key_tbl.find_opt t.table key) with
+  | Some analysis ->
+      Atomic.incr t.hits;
+      Atomic.incr global_hits;
+      analysis
+  | None ->
+      Atomic.incr t.misses;
+      Atomic.incr global_misses;
+      (* Compute outside the lock: a concurrent duplicate computation
+         of a pure function is cheaper than serializing the kernel. *)
+      let analysis =
+        Sfp.node_analysis ~kmax (Design.pfail_vector problem design ~member)
+      in
+      locked t (fun () ->
+          if Key_tbl.length t.table < t.max_entries then
+            Key_tbl.replace t.table key analysis);
+      analysis
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let length t = locked t (fun () -> Key_tbl.length t.table)
+
+let entries t =
+  locked t (fun () ->
+      Key_tbl.fold (fun key analysis acc -> (key, analysis) :: acc) t.table [])
+
+type totals = { total_hits : int; total_misses : int }
+
+let totals () =
+  { total_hits = Atomic.get global_hits;
+    total_misses = Atomic.get global_misses }
+
+let reset_totals () =
+  Atomic.set global_hits 0;
+  Atomic.set global_misses 0
+
+let hit_rate { total_hits; total_misses } =
+  let lookups = total_hits + total_misses in
+  if lookups = 0 then 0.0
+  else float_of_int total_hits /. float_of_int lookups

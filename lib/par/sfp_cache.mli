@@ -1,0 +1,71 @@
+(** Memoized SFP node analyses for the design-space exploration.
+
+    The SFP kernel (formulae (1)-(4)) is evaluated per architecture
+    member, and its input — the vector of failure probabilities of the
+    processes mapped onto the member — is fully determined by the
+    member's node type, its hardening version and the set of mapped
+    processes.  Candidate designs explored by the tabu mapping search
+    and the hardening escalation share most of these
+    [(node, h-version, processes)] triples, so the [Pr(f; Njh)] /
+    [Pr(f > kj; Njh)] tables are cached under that key instead of being
+    rebuilt per candidate.
+
+    A cache instance is bound to one {!Ftes_model.Problem.t}: the key
+    does not include the probability tables themselves, only the
+    indices that select them.  Create one cache per optimization run
+    (as {!Ftes_core.Design_strategy.run} does) and never share it
+    across problems.
+
+    All operations are domain-safe; concurrent lookups of the same key
+    may both compute the value, which is harmless because the analysis
+    is a pure function of the key.  Cached tables are bit-identical to
+    fresh computations, so memoization never changes any result. *)
+
+type key = {
+  node : int;  (** library index of the member's node type. *)
+  level : int;  (** hardening version in use. *)
+  kmax : int;  (** re-execution bound of the table. *)
+  procs : int array;  (** mapped processes, ascending. *)
+}
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** Fresh empty cache.  Once [max_entries] (default [1 lsl 18]) keys
+    are stored, further misses compute without inserting, bounding the
+    footprint of exhaustive enumerations. *)
+
+val node_analysis :
+  t ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  member:int ->
+  kmax:int ->
+  Ftes_sfp.Sfp.node_analysis
+(** [node_analysis t problem design ~member ~kmax] is
+    [Sfp.node_analysis ~kmax] of the member's failure-probability
+    vector, served from the cache when the [(node, h-version, procs,
+    kmax)] key has been seen before. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val length : t -> int
+(** Number of distinct keys stored. *)
+
+val entries : t -> (key * Ftes_sfp.Sfp.node_analysis) list
+(** Snapshot of the stored tables (key order unspecified); consumed by
+    the static verifier's SFP-cache contract rule and by tests. *)
+
+(** Process-wide counters, aggregated over every cache instance, so the
+    benchmark can report one hit rate across the per-application
+    caches of a whole experiment cell. *)
+type totals = { total_hits : int; total_misses : int }
+
+val totals : unit -> totals
+
+val reset_totals : unit -> unit
+
+val hit_rate : totals -> float
+(** Hits over lookups, [0.] when no lookup happened. *)

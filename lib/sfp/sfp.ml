@@ -93,13 +93,18 @@ type verdict = {
   meets_goal : bool;
 }
 
-let evaluate problem design =
-  let members = Design.n_members design in
-  let analyses =
-    Array.init members (fun member ->
-        let kmax = max default_kmax design.Design.reexecs.(member) in
-        node_analysis ~kmax (Design.pfail_vector problem design ~member))
-  in
+let analysis_kmax design ~member =
+  max default_kmax design.Design.reexecs.(member)
+
+let analyses_for problem design =
+  Array.init (Design.n_members design) (fun member ->
+      node_analysis
+        ~kmax:(analysis_kmax design ~member)
+        (Design.pfail_vector problem design ~member))
+
+let evaluate_analyses problem design ~analyses =
+  if Array.length analyses <> Design.n_members design then
+    invalid_arg "Sfp.evaluate_analyses: one analysis per member expected";
   let per_iteration_failure =
     system_failure_per_iteration analyses ~k:design.Design.reexecs
   in
@@ -111,5 +116,8 @@ let evaluate problem design =
   let goal = Application.reliability_goal app in
   { per_iteration_failure; reliability_per_hour; goal;
     meets_goal = reliability_per_hour >= goal }
+
+let evaluate problem design =
+  evaluate_analyses problem design ~analyses:(analyses_for problem design)
 
 let meets_goal problem design = (evaluate problem design).meets_goal

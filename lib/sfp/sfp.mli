@@ -18,10 +18,18 @@
     directed so the analysis is pessimistic (never reports a system as
     more reliable than it is). *)
 
-type node_analysis
+type node_analysis = {
+  probs : float array;  (** the node's process failure probabilities. *)
+  kmax : int;
+  pr0 : float;  (** formula (1), rounded down. *)
+  homogeneous : float array;  (** h_0 .. h_kmax of [probs]. *)
+}
 (** Cached per-node analysis: the probability vector and its h_f table
     up to a re-execution bound, so that exploring different [k] values
-    is O(1) per query. *)
+    is O(1) per query.  The representation is exposed so that the
+    static verifier can re-check memoized tables field by field (and so
+    that its mutation tests can corrupt them); construct values only
+    through {!node_analysis}. *)
 
 val default_kmax : int
 (** Default cap on explored re-executions per node (12; the paper's
@@ -66,6 +74,26 @@ type verdict = {
   goal : float;  (** rho = 1 - gamma. *)
   meets_goal : bool;
 }
+
+val analysis_kmax : Ftes_model.Design.t -> member:int -> int
+(** The table bound {!evaluate} uses for one member:
+    [max default_kmax reexecs.(member)]. *)
+
+val analyses_for :
+  Ftes_model.Problem.t -> Ftes_model.Design.t -> node_analysis array
+(** The per-member analyses {!evaluate} is defined over, one per
+    architecture slot at {!analysis_kmax}. *)
+
+val evaluate_analyses :
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  analyses:node_analysis array ->
+  verdict
+(** {!evaluate} over externally supplied (typically memoized) member
+    analyses.  The caller promises [analyses] equals
+    {!analyses_for}[ problem design]; {!Ftes_par.Sfp_cache} guarantees
+    this by construction.  Raises [Invalid_argument] on a slot-count
+    mismatch. *)
 
 val evaluate : Ftes_model.Problem.t -> Ftes_model.Design.t -> verdict
 (** Full-system check of formula (6) for a design (architecture,

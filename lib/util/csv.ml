@@ -24,3 +24,62 @@ let write_file path rows =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string rows))
+
+let of_string s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let field_pending = ref false in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf;
+    field_pending := false
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then ()
+    else begin
+      match s.[i] with
+      | ',' ->
+          flush_field ();
+          field_pending := true;
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' ->
+          flush_row ();
+          plain (if i + 1 < n && s.[i + 1] = '\n' then i + 2 else i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+    end
+  and quoted i =
+    if i >= n then invalid_arg "Csv.of_string: unterminated quoted field"
+    else begin
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' ->
+          (* Mark so a quoted empty field still counts as content. *)
+          field_pending := true;
+          plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+    end
+  in
+  plain 0;
+  if Buffer.length buf > 0 || !row <> [] || !field_pending then flush_row ();
+  List.rev !rows
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,4 +1,8 @@
-type requires = Problem_only | Needs_design | Needs_schedule
+type requires =
+  | Problem_only
+  | Needs_design
+  | Needs_schedule
+  | Needs_sfp_tables
 
 type t = {
   id : string;
@@ -15,3 +19,5 @@ let applicable subject t =
   | Needs_design -> subject.Subject.design <> None
   | Needs_schedule ->
       subject.Subject.design <> None && subject.Subject.schedule <> None
+  | Needs_sfp_tables ->
+      subject.Subject.design <> None && subject.Subject.sfp_tables <> None

@@ -4,6 +4,8 @@ type requires =
   | Problem_only  (** runs on every subject. *)
   | Needs_design  (** skipped unless the subject carries a design. *)
   | Needs_schedule  (** skipped unless design and schedule are present. *)
+  | Needs_sfp_tables
+      (** skipped unless design and memoized SFP tables are present. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

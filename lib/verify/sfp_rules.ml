@@ -289,6 +289,96 @@ let check_goal subject =
           problem.Problem.app.Application.gamma ]
   end
 
+(* sfp/cache: the memoized SFP tables a producer attached match a
+   from-scratch recomputation field by field — the probability vector,
+   Pr(0), every h_f term (equivalently every Pr(f)), and the derived
+   Pr(f > k) at the design's re-execution counts.  Memoization must be
+   invisible: any divergence past the rounding grain means a stale or
+   corrupted cache entry. *)
+let check_cache subject =
+  let rule = "sfp/cache" in
+  let problem = subject.Subject.problem in
+  let design = design_exn subject in
+  let tables =
+    match subject.Subject.sfp_tables with
+    | Some tables -> tables
+    | None -> invalid_arg "verifier: SFP cache rule run without tables"
+  in
+  if not (analysable problem design) then []
+  else if Array.length tables <> Design.n_members design then
+    [ D.error ~rule "cache holds %d member tables but the design has %d slots"
+        (Array.length tables) (Design.n_members design) ]
+  else
+    List.init (Design.n_members design) Fun.id
+    |> List.concat_map (fun slot ->
+           let loc = D.Member slot in
+           let cached = tables.(slot) in
+           let probs = Design.pfail_vector problem design ~member:slot in
+           if Array.length cached.Sfp.probs <> Array.length probs then
+             [ D.error ~loc ~rule
+                 "cached table covers %d processes but the mapping puts %d \
+                  on this member"
+                 (Array.length cached.Sfp.probs)
+                 (Array.length probs) ]
+           else begin
+             let fresh = Sfp.node_analysis ~kmax:cached.Sfp.kmax probs in
+             let acc = ref [] in
+             Array.iteri
+               (fun i p ->
+                 if
+                   not
+                     (Tolerance.approx ~eps:Tolerance.prob_eps
+                        cached.Sfp.probs.(i) p)
+                 then
+                   acc :=
+                     D.error ~loc ~rule
+                       "cached failure probability %.17g for process slot %d \
+                        differs from the design's %.17g"
+                       cached.Sfp.probs.(i) i p
+                     :: !acc)
+               probs;
+             if
+               not
+                 (Tolerance.approx ~eps:Tolerance.prob_eps cached.Sfp.pr0
+                    (Sfp.pr_zero fresh))
+             then
+               acc :=
+                 D.error ~loc ~rule
+                   "cached Pr(0) = %.17g but recomputation gives %.17g"
+                   cached.Sfp.pr0 (Sfp.pr_zero fresh)
+                 :: !acc;
+             let kmax = min cached.Sfp.kmax (Sfp.kmax fresh) in
+             for f = 0 to kmax do
+               if
+                 not
+                   (Tolerance.approx ~eps:Tolerance.prob_eps
+                      cached.Sfp.homogeneous.(f)
+                      fresh.Sfp.homogeneous.(f))
+               then
+                 acc :=
+                   D.error ~loc ~rule
+                     "cached h_%d = %.17g but recomputation gives %.17g" f
+                     cached.Sfp.homogeneous.(f)
+                     fresh.Sfp.homogeneous.(f)
+                   :: !acc
+             done;
+             let k = min design.Design.reexecs.(slot) kmax in
+             if
+               not
+                 (Tolerance.approx ~eps:Tolerance.prob_eps
+                    (Sfp.pr_exceeds cached ~k) (Sfp.pr_exceeds fresh ~k))
+             then
+               acc :=
+                 D.error ~loc ~rule
+                   "cached table yields Pr(f > %d) = %.17g but recomputation \
+                    gives %.17g"
+                   k
+                   (Sfp.pr_exceeds cached ~k)
+                   (Sfp.pr_exceeds fresh ~k)
+                 :: !acc;
+             List.rev !acc
+           end)
+
 let all =
   [ Rule.make ~id:"sfp/rounding"
       ~synopsis:"formulae (1)-(4) round pessimistically; DP matches \
@@ -308,4 +398,7 @@ let all =
       ~requires:Rule.Needs_design check_per_hour;
     Rule.make ~id:"sfp/goal"
       ~synopsis:"the reliability goal 1 - γ holds (formula (6))"
-      ~requires:Rule.Needs_design check_goal ]
+      ~requires:Rule.Needs_design check_goal;
+    Rule.make ~id:"sfp/cache"
+      ~synopsis:"memoized SFP tables match from-scratch recomputation"
+      ~requires:Rule.Needs_sfp_tables check_cache ]

@@ -10,14 +10,18 @@ type t = {
   schedule : Schedule.t option;
   slack : Scheduler.slack_mode;
   bus : Bus.policy;
+  sfp_tables : Ftes_sfp.Sfp.node_analysis array option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
-    bus = Bus.Fcfs }
+    bus = Bus.Fcfs; sfp_tables = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
-let of_schedule ?(slack = Scheduler.Shared) ?(bus = Bus.Fcfs) problem design
-    schedule =
-  { problem; design = Some design; schedule = Some schedule; slack; bus }
+let of_schedule ?(slack = Scheduler.Shared) ?(bus = Bus.Fcfs) ?sfp_tables
+    problem design schedule =
+  { problem; design = Some design; schedule = Some schedule; slack; bus;
+    sfp_tables }
+
+let with_sfp_tables t tables = { t with sfp_tables = Some tables }

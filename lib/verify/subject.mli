@@ -13,6 +13,10 @@ type t = {
   slack : Ftes_sched.Scheduler.slack_mode;
       (** policy the schedule was synthesized under. *)
   bus : Ftes_sched.Bus.policy;  (** bus arbitration of the schedule. *)
+  sfp_tables : Ftes_sfp.Sfp.node_analysis array option;
+      (** memoized per-member SFP tables the producer actually used
+          (one per architecture slot), when it used a cache; the
+          SFP-cache contract rule re-derives each from scratch. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -24,8 +28,12 @@ val of_design : Ftes_model.Problem.t -> Ftes_model.Design.t -> t
 val of_schedule :
   ?slack:Ftes_sched.Scheduler.slack_mode ->
   ?bus:Ftes_sched.Bus.policy ->
+  ?sfp_tables:Ftes_sfp.Sfp.node_analysis array ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
   Ftes_sched.Schedule.t ->
   t
-(** The full triple (defaults: shared slack, FCFS bus). *)
+(** The full triple (defaults: shared slack, FCFS bus, no tables). *)
+
+val with_sfp_tables : t -> Ftes_sfp.Sfp.node_analysis array -> t
+(** Attach memoized SFP tables to an existing subject. *)

@@ -23,5 +23,5 @@ let run ?(rules = registry) subject =
 let except ids =
   List.filter (fun r -> not (List.mem r.Rule.id ids)) registry
 
-let certify ?slack ?bus problem design schedule =
-  run (Subject.of_schedule ?slack ?bus problem design schedule)
+let certify ?slack ?bus ?sfp_tables problem design schedule =
+  run (Subject.of_schedule ?slack ?bus ?sfp_tables problem design schedule)

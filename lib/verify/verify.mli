@@ -22,8 +22,12 @@ val run : ?rules:Rule.t list -> Subject.t -> Report.t
 val certify :
   ?slack:Ftes_sched.Scheduler.slack_mode ->
   ?bus:Ftes_sched.Bus.policy ->
+  ?sfp_tables:Ftes_sfp.Sfp.node_analysis array ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
   Ftes_sched.Schedule.t ->
   Report.t
-(** Full-registry run on a complete triple. *)
+(** Full-registry run on a complete triple.  When the producer used
+    memoized SFP tables, pass them as [sfp_tables] so the SFP-cache
+    contract rule can check them against fresh recomputation; without
+    them that rule is recorded as skipped. *)

@@ -1,0 +1,85 @@
+(* Golden regression tests: recompute the FTES_QUICK-sized Fig. 6a and
+   Fig. 6c artifacts (8 applications, seed 42 — the bench-smoke
+   population) and diff every measured acceptance percentage against
+   the CSVs checked in under [golden/].  A perf refactor that silently
+   changes a paper number fails here, not in a downstream figure.
+
+   To regenerate after an intentional change of the numbers:
+
+     FTES_REGEN_GOLDEN=$PWD/test/golden dune exec test/test_golden.exe *)
+
+module Synthetic = Ftes_exp.Synthetic
+module Figures = Ftes_exp.Figures
+module Csv = Ftes_util.Csv
+module Tolerance = Ftes_util.Tolerance
+
+let suite = lazy (Synthetic.create_suite ~count:8 ~seed:42 ())
+
+let artifacts =
+  [ ("fig6a_quick.csv", fun () -> Figures.fig6a (Lazy.force suite));
+    ("fig6c_quick.csv", fun () -> Figures.fig6c (Lazy.force suite)) ]
+
+let () =
+  match Sys.getenv_opt "FTES_REGEN_GOLDEN" with
+  | Some dir ->
+      List.iter
+        (fun (name, artifact) ->
+          let path = Filename.concat dir name in
+          Csv.write_file path (Figures.to_csv (artifact ()));
+          Printf.printf "regenerated %s\n%!" path)
+        artifacts;
+      exit 0
+  | None -> ()
+
+(* Under `dune runtest` the goldens are staged next to the executable's
+   cwd as [golden/]; under `dune exec` from the repo root they live at
+   [test/golden/].  Accept either. *)
+let golden_path name =
+  let local = Filename.concat "golden" name in
+  if Sys.file_exists local then local
+  else Filename.concat (Filename.concat "test" "golden") name
+
+(* Acceptance percentages are ratios of small integer counts scaled by
+   100, so they are exact in principle; compare at cost_eps to stay
+   robust against a float-printing change. *)
+let check_artifact (name, artifact) () =
+  let golden = Csv.read_file (golden_path name) in
+  let fresh = Figures.to_csv (artifact ()) in
+  Alcotest.(check int)
+    (name ^ ": row count")
+    (List.length golden) (List.length fresh);
+  List.iteri
+    (fun i (golden_row, fresh_row) ->
+      if i = 0 then
+        Alcotest.(check (list string)) (name ^ ": header") golden_row fresh_row
+      else begin
+        match (golden_row, fresh_row) with
+        | ( strategy :: kind :: golden_values,
+            strategy' :: kind' :: fresh_values ) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s row %d: strategy" name i)
+              strategy strategy';
+            Alcotest.(check string)
+              (Printf.sprintf "%s row %d: kind" name i)
+              kind kind';
+            List.iteri
+              (fun j (g, f) ->
+                let g = float_of_string g and f = float_of_string f in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s row %d col %d: %g within %g of %g" name
+                     i j f Tolerance.cost_eps g)
+                  true
+                  (Tolerance.approx ~eps:Tolerance.cost_eps g f))
+              (List.combine golden_values fresh_values)
+        | _ ->
+            Alcotest.failf "%s row %d: malformed row" name i
+      end)
+    (List.combine golden fresh)
+
+let () =
+  Alcotest.run "golden"
+    [ ("figures",
+       List.map
+         (fun ((name, _) as artifact) ->
+           Alcotest.test_case name `Slow (check_artifact artifact))
+         artifacts) ]

@@ -245,6 +245,39 @@ let prop_h_matches_enumeration =
       in
       Float.abs (dp -. brute) <= 1e-12 +. (1e-9 *. Float.abs brute))
 
+(* Same cross-check on SFP-shaped tables: per-process failure
+   probabilities are tiny and spread over decades (log-uniform in
+   [1e-9, 1e-2]), where naive summation is most exposed to cancellation
+   and scaling bugs.  The whole DP prefix h_0 .. h_k is compared, not
+   just the top coefficient. *)
+let prop_h_matches_enumeration_sfp_tables =
+  QCheck.Test.make ~count:100
+    ~name:"complete_homogeneous = multiset sums (log-uniform SFP tables)"
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 8) (float_bound_inclusive 1.0)) (int_bound 6))
+    (fun (us, k) ->
+      let p =
+        us
+        |> List.map (fun u -> 10.0 ** (-9.0 +. (7.0 *. u)))
+        |> Array.of_list
+      in
+      let dp = Symmetric.complete_homogeneous p k in
+      let ok = ref true in
+      for f = 0 to k do
+        let brute =
+          Symmetric.fold_multisets ~n:(Array.length p) ~f ~init:0.0
+            (fun acc m ->
+              let prod = ref 1.0 in
+              Array.iteri
+                (fun i times -> prod := !prod *. (p.(i) ** float_of_int times))
+                m;
+              acc +. !prod)
+        in
+        if Float.abs (dp.(f) -. brute) > 1e-15 +. (1e-9 *. Float.abs brute)
+        then ok := false
+      done;
+      !ok)
+
 let prop_binomial_pascal =
   QCheck.Test.make ~count:200 ~name:"Pascal identity"
     QCheck.(pair (int_bound 30) (int_bound 30))
@@ -461,6 +494,32 @@ let test_csv_write_file () =
       in
       Alcotest.(check string) "file contents" "x,y\n1,\"a,b\"\n" content)
 
+let test_csv_parse () =
+  Alcotest.(check (list (list string)))
+    "quoted commas, escaped quotes, CRLF"
+    [ [ "a"; "b,c" ]; [ "say \"hi\""; "" ]; [ "last" ] ]
+    (Csv.of_string "a,\"b,c\"\r\n\"say \"\"hi\"\"\",\nlast");
+  Alcotest.(check (list (list string)))
+    "trailing comma keeps the empty field"
+    [ [ "x"; "" ] ]
+    (Csv.of_string "x,\n");
+  Alcotest.(check (list (list string)))
+    "no final newline" [ [ "x"; "y" ] ] (Csv.of_string "x,y");
+  Alcotest.check_raises "unterminated quote"
+    (Invalid_argument "Csv.of_string: unterminated quoted field") (fun () ->
+      ignore (Csv.of_string "\"oops"))
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Csv.of_string (Csv.to_string t) = t"
+    QCheck.(
+      small_list
+        (small_list (string_gen_of_size Gen.(0 -- 6) Gen.printable)))
+    (fun rows ->
+      (* Normalize away the two representation edges: empty documents
+         and all-empty rows do not round-trip structurally. *)
+      let rows = List.map (fun row -> "x" :: row) rows in
+      rows = [] || Csv.of_string (Csv.to_string rows) = rows)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "ftes_util"
@@ -500,6 +559,7 @@ let () =
           Alcotest.test_case "count_multisets" `Quick test_count_multisets;
           Alcotest.test_case "log_factorial" `Quick test_log_factorial;
           q prop_h_matches_enumeration;
+          q prop_h_matches_enumeration_sfp_tables;
           q prop_binomial_pascal ] );
       ( "stats",
         [ Alcotest.test_case "running" `Quick test_running_stats;
@@ -526,4 +586,6 @@ let () =
       ( "csv",
         [ Alcotest.test_case "escaping" `Quick test_csv_escape;
           Alcotest.test_case "document" `Quick test_csv_document;
-          Alcotest.test_case "write file" `Quick test_csv_write_file ] ) ]
+          Alcotest.test_case "write file" `Quick test_csv_write_file;
+          Alcotest.test_case "parse" `Quick test_csv_parse;
+          q prop_csv_roundtrip ] ) ]

@@ -304,6 +304,73 @@ let test_clean_base_verifies () =
   let report = Verify.certify problem design schedule in
   Alcotest.(check bool) "uncorrupted fig4a certifies" true (Report.ok report)
 
+(* --- sfp/cache mutations: a corrupted memoized SFP table must trip
+   the cache-consistency rule, while faithful tables (and sub-tolerance
+   noise) must not. *)
+
+module Sfp = Ftes_sfp.Sfp
+
+let certify_tables tables =
+  let problem, design, schedule = base () in
+  Verify.certify ~sfp_tables:tables problem design schedule
+
+let base_tables () =
+  let problem, design, _ = base () in
+  Sfp.analyses_for problem design
+
+(* node_analysis is immutable from outside the Sfp module; rebuild a
+   perturbed table by re-analysing a perturbed probability vector or by
+   patching the exposed record fields. *)
+let sfp_cache_mutations : (string * (Sfp.node_analysis array -> Sfp.node_analysis array)) list =
+  [ ( "perturbed process failure probability",
+      fun tables ->
+        let t = Array.copy tables in
+        let probs = Array.copy t.(0).Sfp.probs in
+        probs.(0) <- probs.(0) +. 1e-6;
+        t.(0) <- { t.(0) with Sfp.probs };
+        t );
+    ( "perturbed Pr(0)",
+      fun tables ->
+        let t = Array.copy tables in
+        t.(0) <- { t.(0) with Sfp.pr0 = t.(0).Sfp.pr0 -. 1e-6 };
+        t );
+    ( "perturbed fault-count coefficient",
+      fun tables ->
+        let t = Array.copy tables in
+        let homogeneous = Array.copy t.(1).Sfp.homogeneous in
+        homogeneous.(1) <- homogeneous.(1) *. (1.0 +. 1e-3);
+        t.(1) <- { t.(1) with Sfp.homogeneous };
+        t );
+    ( "missing member table",
+      fun tables -> Array.sub tables 0 (Array.length tables - 1) ) ]
+
+let test_sfp_cache_mutation (name, mutate) () =
+  let report = certify_tables (mutate (base_tables ())) in
+  Alcotest.(check bool) (name ^ " is caught") false (Report.ok report);
+  if not (List.mem "sfp/cache" (Report.fired_rules report)) then
+    Alcotest.failf "%s: expected sfp/cache to fire, got [%s]" name
+      (String.concat "; " (Report.fired_rules report))
+
+let test_sfp_cache_clean_tables_pass () =
+  let report = certify_tables (base_tables ()) in
+  Alcotest.(check bool) "faithful tables certify" true (Report.ok report)
+
+let test_sfp_cache_subgrain_noise_passes () =
+  (* A perturbation below the probability tolerance (1e-16 << 1e-15,
+     both far below the 1e-11 rounding grain) is indistinguishable from
+     rounding and must not fire. *)
+  let tables = base_tables () in
+  let t = Array.copy tables in
+  t.(0) <- { t.(0) with Sfp.pr0 = t.(0).Sfp.pr0 -. 1e-16 };
+  let report = certify_tables t in
+  Alcotest.(check bool) "sub-tolerance noise certifies" true (Report.ok report)
+
+let test_sfp_cache_rule_skipped_without_tables () =
+  let problem, design, schedule = base () in
+  let report = Verify.certify problem design schedule in
+  Alcotest.(check bool) "sfp/cache not run without tables" false
+    (List.mem "sfp/cache" (Report.fired_rules report))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "ftes_verify"
@@ -336,4 +403,15 @@ let () =
         :: List.map
              (fun ((name, _, _) as m) ->
                Alcotest.test_case name `Quick (test_mutation m))
-             mutations ) ]
+             mutations );
+      ( "sfp-cache mutations",
+        Alcotest.test_case "clean tables pass" `Quick
+          test_sfp_cache_clean_tables_pass
+        :: Alcotest.test_case "sub-tolerance noise passes" `Quick
+             test_sfp_cache_subgrain_noise_passes
+        :: Alcotest.test_case "rule skipped without tables" `Quick
+             test_sfp_cache_rule_skipped_without_tables
+        :: List.map
+             (fun ((name, _) as m) ->
+               Alcotest.test_case name `Quick (test_sfp_cache_mutation m))
+             sfp_cache_mutations ) ]
