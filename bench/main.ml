@@ -18,6 +18,10 @@ module Redundancy_opt = Ftes_core.Redundancy_opt
 module Workload = Ftes_gen.Workload
 module Pool = Ftes_par.Pool
 module Sfp_cache = Ftes_par.Sfp_cache
+module Span = Ftes_obs.Span
+module Sink = Ftes_obs.Sink
+module Metrics = Ftes_obs.Metrics
+module Obs_report = Ftes_obs.Report
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -71,7 +75,7 @@ let bench_parallel ~apps ~seed =
   let key =
     { Synthetic.ser = 1e-11; hpd = 0.25; policy = Config.Optimize }
   in
-  let baseline = { Config.default with Config.memoize = false } in
+  let baseline = Config.with_memoize false Config.default in
   Redundancy_opt.reset_eval_stats ();
   let seq, seq_s =
     walled (fun () -> Synthetic.run_cell ~config:baseline ~specs key)
@@ -144,6 +148,84 @@ let bench_parallel ~apps ~seed =
         string_of_int evals.Redundancy_opt.hits;
         string_of_int evals.Redundancy_opt.misses ] ]
 
+(* Observability overhead on one quick OPT cell.
+
+   An uninstrumented in-process baseline no longer exists, so the null
+   path is costed directly: the per-call price of a disabled
+   [Span.with_] comes from a micro-loop, and the implied overhead of
+   the instrumentation on the cell is (spans completed x that price) /
+   untraced wall time.  The fully-aggregated run is also timed, and the
+   per-application costs of both runs must match bit for bit — tracing
+   only observes. *)
+let bench_obs ~apps ~seed =
+  let iters = 2_000_000 in
+  let work () = Sys.opaque_identity 1 in
+  let (), bare_s =
+    walled (fun () -> for _ = 1 to iters do ignore (work ()) done)
+  in
+  let (), spanned_s =
+    walled (fun () ->
+        for _ = 1 to iters do
+          ignore (Span.with_ ~name:"bench/noop" work)
+        done)
+  in
+  let per_call_ns =
+    max 0.0 (1e9 *. (spanned_s -. bare_s) /. float_of_int iters)
+  in
+  let specs = Workload.paper_suite ~count:apps ~seed () in
+  let key = { Synthetic.ser = 1e-11; hpd = 0.25; policy = Config.Optimize } in
+  let untraced, untraced_s =
+    walled (fun () -> Synthetic.run_cell ~config:Config.default ~specs key)
+  in
+  Metrics.reset ();
+  Span.configure ~aggregate:true ();
+  let traced, traced_s =
+    walled (fun () -> Synthetic.run_cell ~config:Config.default ~specs key)
+  in
+  Span.disable ();
+  let snap = Metrics.snapshot () in
+  let spans =
+    List.fold_left
+      (fun acc (name, v) ->
+        if
+          String.starts_with ~prefix:Span.span_prefix name
+          && Filename.check_suffix name ".count"
+        then acc + v
+        else acc)
+      0 snap.Metrics.counters
+  in
+  let null_overhead_pct =
+    100.0 *. float_of_int spans *. per_call_ns /. (untraced_s *. 1e9)
+  in
+  let traced_overhead_pct = 100.0 *. (traced_s /. untraced_s -. 1.0) in
+  let identical = untraced.Synthetic.costs = traced.Synthetic.costs in
+  Printf.printf
+    "disabled span: %.1f ns/call (over %d calls)\n\
+     quick OPT cell: %.2fs untraced, %d spans completed when aggregated\n\
+     implied null-sink overhead: %.3f%% of the cell\n\
+     aggregated-run overhead:    %.1f%% wall (%.2fs)\n\
+     per-app costs identical traced vs untraced: %b\n%!"
+    per_call_ns iters untraced_s spans null_overhead_pct traced_overhead_pct
+    traced_s identical;
+  if not identical then
+    failwith "bench_obs: tracing changed the optimizer's results";
+  if null_overhead_pct >= 3.0 then
+    failwith
+      (Printf.sprintf
+         "bench_obs: null-sink overhead %.2f%% breaches the 3%% budget"
+         null_overhead_pct);
+  save_csv "bench_obs.csv"
+    [ [ "apps"; "per_call_ns"; "spans"; "untraced_s"; "traced_s";
+        "null_overhead_pct"; "traced_overhead_pct"; "identical" ];
+      [ string_of_int apps;
+        Printf.sprintf "%.2f" per_call_ns;
+        string_of_int spans;
+        Printf.sprintf "%.4f" untraced_s;
+        Printf.sprintf "%.4f" traced_s;
+        Printf.sprintf "%.4f" null_overhead_pct;
+        Printf.sprintf "%.2f" traced_overhead_pct;
+        string_of_bool identical ] ]
+
 let () =
   Printf.printf
     "FTES benchmark harness: reproduction of Izosimov, Polian, Pop, Eles, \
@@ -154,6 +236,9 @@ let () =
     apps seed;
   section "Parallel + memoized exploration";
   bench_parallel ~apps:(if quick then 8 else 24) ~seed;
+
+  section "Observability overhead";
+  bench_obs ~apps:(if quick then 8 else 24) ~seed;
 
   let suite = Synthetic.create_suite ~count:apps ~seed () in
 
@@ -256,4 +341,11 @@ let () =
     section "Bechamel micro-benchmarks";
     Micro.run ()
   end;
+
+  (* Final metrics snapshot: every counter the instrumented hot paths
+     accumulated across the whole harness run. *)
+  ensure_results_dir ();
+  let metrics_path = Filename.concat results_dir "metrics.csv" in
+  Obs_report.write_metrics_csv metrics_path (Metrics.snapshot ());
+  Printf.printf "[csv] wrote %s\n%!" metrics_path;
   print_endline "\nbench: done"

@@ -1,0 +1,159 @@
+(* Shared plumbing for the ftes subcommands.
+
+   Every command used to open with its own copy of the same match
+   pyramid (resolve the problem, resolve the strategy, run the design
+   strategy, handle infeasibility); those live here once, along with
+   the observability options (--trace / --metrics / --seed) that every
+   subcommand accepts and the typed exit codes the driver maps to
+   process statuses. *)
+
+open Cmdliner
+
+module Config = Ftes_core.Config
+module Design_strategy = Ftes_core.Design_strategy
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Problem_io = Ftes_model.Problem_io
+module Span = Ftes_obs.Span
+module Sink = Ftes_obs.Sink
+module Metrics = Ftes_obs.Metrics
+module Obs_report = Ftes_obs.Report
+
+(* --- typed exit codes --- *)
+
+(* cmdliner owns 1/124/125 for CLI and internal errors; the driver's
+   own outcomes are typed here and mapped in one place.  [Lint_failure]
+   is requested (not [exit]ed) so that the observability teardown —
+   flushing --trace / --metrics files — still runs. *)
+type exit_code = Success | Lint_failure
+
+let int_of_exit_code = function Success -> 0 | Lint_failure -> 3
+
+let pending = ref Success
+
+let request_exit code = pending := code
+
+let finish eval_code =
+  if eval_code <> 0 then eval_code else int_of_exit_code !pending
+
+let fail fmt = Printf.ksprintf (fun s -> Error (`Msg s)) fmt
+
+(* --- problem & strategy resolution --- *)
+
+let problem_of_example = function
+  | "fig1" -> Ok (Ftes_cc.Fig_examples.fig1_problem ())
+  | "fig3" -> Ok (Ftes_cc.Fig_examples.fig3_problem ())
+  | "cc" | "cruise-control" -> Ok (Ftes_cc.Cruise_control.problem ())
+  | other ->
+      Error
+        (Printf.sprintf "unknown example %S (try fig1, fig3, cc)" other)
+
+type target = { file : string option; example : string; strategy : string }
+
+let target_source target =
+  match target.file with
+  | Some path -> path
+  | None -> "example:" ^ target.example
+
+(* A problem comes either from a JSON file (--file) or from a built-in
+   example (--example). *)
+let resolve_problem target =
+  match target.file with
+  | Some path -> Problem_io.load path
+  | None -> problem_of_example target.example
+
+let config_of_strategy = function
+  | "opt" -> Ok Config.default
+  | "min" -> Ok Config.min_strategy
+  | "max" -> Ok Config.max_strategy
+  | other ->
+      Error (Printf.sprintf "unknown strategy %S (try opt, min, max)" other)
+
+(* --- terms --- *)
+
+type obs = { seed : int; trace : string option; metrics : string option }
+
+let obs_term =
+  let seed =
+    let doc = "Root random seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let trace =
+    let doc =
+      "Write a JSONL span trace of the run to $(docv) (one JSON object \
+       per completed span).  Tracing only observes: results are \
+       bit-identical with and without it."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Write a CSV snapshot of the metrics registry (counters, gauges, \
+       latency histograms) to $(docv) when the command finishes."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"PATH" ~doc)
+  in
+  Term.(
+    const (fun seed trace metrics -> { seed; trace; metrics })
+    $ seed $ trace $ metrics)
+
+let target_term =
+  let file =
+    let doc =
+      "Load the problem from a JSON file instead of a built-in example."
+    in
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH" ~doc)
+  in
+  let example =
+    let doc = "Built-in problem: $(b,fig1), $(b,fig3) or $(b,cc)." in
+    Arg.(value & opt string "fig1" & info [ "example"; "e" ] ~docv:"NAME" ~doc)
+  in
+  let strategy =
+    let doc = "Design strategy: $(b,opt), $(b,min) or $(b,max)." in
+    Arg.(value & opt string "opt" & info [ "strategy"; "s" ] ~docv:"NAME" ~doc)
+  in
+  Term.(
+    const (fun file example strategy -> { file; example; strategy })
+    $ file $ example $ strategy)
+
+(* --- observability session --- *)
+
+(* Install the requested sinks for the duration of [f], then restore
+   the defaults and flush the files — also on exceptions and on
+   [request_exit]ed failures, which is why commands must never call
+   [Stdlib.exit] themselves. *)
+let with_observability ?(aggregate_spans = false) obs f =
+  let trace_oc = Option.map open_out obs.trace in
+  let sink =
+    match trace_oc with Some oc -> Sink.jsonl oc | None -> Sink.null
+  in
+  Span.configure ~sink ~aggregate:(aggregate_spans || obs.metrics <> None) ();
+  Fun.protect
+    ~finally:(fun () ->
+      Span.disable ();
+      (match obs.metrics with
+      | Some path -> Obs_report.write_metrics_csv path (Metrics.snapshot ())
+      | None -> ());
+      Option.iter close_out trace_oc)
+    f
+
+(* --- command skeletons --- *)
+
+let with_problem ?aggregate_spans obs target f =
+  with_observability ?aggregate_spans obs (fun () ->
+      match (resolve_problem target, config_of_strategy target.strategy) with
+      | Error e, _ | _, Error e -> fail "%s" e
+      | Ok problem, Ok config -> f problem config)
+
+let default_on_none _problem _config =
+  fail "no schedulable & reliable design found"
+
+let with_solution ?aggregate_spans ?(certify = false)
+    ?(on_none = default_on_none) obs target f =
+  with_problem ?aggregate_spans obs target (fun problem config ->
+      let config = if certify then Config.with_certify true config else config in
+      match Design_strategy.run ~config problem with
+      | None -> on_none problem config
+      | Some solution -> f problem config solution)
+
+let solution_design (s : Design_strategy.solution) =
+  s.Design_strategy.result.Redundancy_opt.design

@@ -5,8 +5,13 @@
      ftes generate   generate a synthetic application
      ftes simulate   fault-injection campaign on an optimized design
      ftes experiment reproduce a figure/table of the paper
+     ftes profile    per-phase time/allocation breakdown of a run
      ftes lint       static verification of a problem and its optimized
-                     design/schedule *)
+                     design/schedule
+
+   Every subcommand accepts --trace FILE (JSONL span trace),
+   --metrics FILE (CSV metrics snapshot) and --seed; the shared
+   plumbing lives in Cli_driver. *)
 
 open Cmdliner
 
@@ -14,81 +19,42 @@ module Config = Ftes_core.Config
 module Design = Ftes_model.Design
 module Design_strategy = Ftes_core.Design_strategy
 module Redundancy_opt = Ftes_core.Redundancy_opt
-module Scheduler = Ftes_sched.Scheduler
 module Workload = Ftes_gen.Workload
+module Driver = Cli_driver
 
-let problem_of_example = function
-  | "fig1" -> Ok (Ftes_cc.Fig_examples.fig1_problem ())
-  | "fig3" -> Ok (Ftes_cc.Fig_examples.fig3_problem ())
-  | "cc" -> Ok (Ftes_cc.Cruise_control.problem ())
-  | other -> Error (Printf.sprintf "unknown example %S (try fig1, fig3, cc)" other)
-
-(* A problem comes either from a JSON file (--file) or from a built-in
-   example (--example). *)
-let resolve_problem ~file ~example =
-  match file with
-  | Some path -> Ftes_model.Problem_io.load path
-  | None -> problem_of_example example
-
-let config_of_strategy = function
-  | "opt" -> Ok Config.default
-  | "min" -> Ok Config.min_strategy
-  | "max" -> Ok Config.max_strategy
-  | other ->
-      Error (Printf.sprintf "unknown strategy %S (try opt, min, max)" other)
-
-let example_arg =
-  let doc = "Built-in problem: $(b,fig1), $(b,fig3) or $(b,cc)." in
-  Arg.(value & opt string "fig1" & info [ "example"; "e" ] ~docv:"NAME" ~doc)
-
-let strategy_arg =
-  let doc = "Design strategy: $(b,opt), $(b,min) or $(b,max)." in
-  Arg.(value & opt string "opt" & info [ "strategy"; "s" ] ~docv:"NAME" ~doc)
-
-let seed_arg =
-  let doc = "Root random seed." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let fail fmt = Printf.ksprintf (fun s -> Error (`Msg s)) fmt
+let fail = Driver.fail
 
 (* optimize *)
 
-let run_optimize file example strategy gantt =
-  match (resolve_problem ~file ~example, config_of_strategy strategy) with
-  | Error e, _ | _, Error e -> fail "%s" e
-  | Ok problem, Ok config -> (
+let run_optimize obs target gantt =
+  Driver.with_solution obs target
+    ~on_none:(fun _problem config ->
+      Printf.printf "%s: no schedulable & reliable design found\n"
+        (Config.policy_name config.Config.hardening);
+      Ok ())
+    (fun problem config s ->
       Format.printf "%a@." Ftes_model.Problem.pp problem;
-      match Design_strategy.run ~config problem with
-      | None ->
-          Printf.printf "%s: no schedulable & reliable design found\n"
-            (Config.policy_name config.Config.hardening);
-          Ok ()
-      | Some s ->
-          let design = s.Design_strategy.result.Redundancy_opt.design in
-          Printf.printf "%s solution (explored %d architectures):\n"
-            (Config.policy_name config.Config.hardening)
-            s.Design_strategy.explored;
-          Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
-          Printf.printf "schedule length %.2f ms; reliability %.11f (goal %.6f)\n"
-            s.Design_strategy.result.Redundancy_opt.schedule_length
-            s.Design_strategy.verdict.Ftes_sfp.Sfp.reliability_per_hour
-            s.Design_strategy.verdict.Ftes_sfp.Sfp.goal;
-          if gantt then
-            print_string
-              (Ftes_sched.Schedule.to_gantt problem design
-                 s.Design_strategy.schedule);
-          Ok ())
-
-let file_arg =
-  let doc = "Load the problem from a JSON file instead of a built-in example." in
-  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"PATH" ~doc)
+      let design = Driver.solution_design s in
+      Printf.printf "%s solution (explored %d architectures):\n"
+        (Config.policy_name config.Config.hardening)
+        s.Design_strategy.explored;
+      Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
+      Printf.printf "schedule length %.2f ms; reliability %.11f (goal %.6f)\n"
+        s.Design_strategy.result.Redundancy_opt.schedule_length
+        s.Design_strategy.verdict.Ftes_sfp.Sfp.reliability_per_hour
+        s.Design_strategy.verdict.Ftes_sfp.Sfp.goal;
+      if gantt then
+        print_string
+          (Ftes_sched.Schedule.to_gantt problem design
+             s.Design_strategy.schedule);
+      Ok ())
 
 let optimize_cmd =
   let gantt =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print the static schedule.")
   in
   let term =
-    Term.(const run_optimize $ file_arg $ example_arg $ strategy_arg $ gantt)
+    Term.(const run_optimize $ Driver.obs_term $ Driver.target_term $ gantt)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a built-in problem with MIN/MAX/OPT")
@@ -96,18 +62,23 @@ let optimize_cmd =
 
 (* generate *)
 
-let run_generate seed index procs ser hpd dot =
-  if procs <= 0 then fail "process count must be positive"
-  else begin
-    let spec = Workload.generate_spec ~seed ~index ~n_processes:procs () in
-    let problem = Workload.problem_of_spec { Workload.ser; hpd } spec in
-    Format.printf "%a@." Ftes_model.Problem.pp problem;
-    Printf.printf "deadline %.2f ms, gamma %g, mu %.3f ms, %d edges\n"
-      spec.Workload.deadline_ms spec.Workload.gamma spec.Workload.mu_ms
-      (Ftes_model.Task_graph.n_edges spec.Workload.graph);
-    if dot then print_string (Ftes_model.Task_graph.to_dot spec.Workload.graph);
-    Ok ()
-  end
+let run_generate obs index procs ser hpd dot =
+  Driver.with_observability obs (fun () ->
+      if procs <= 0 then fail "process count must be positive"
+      else begin
+        let spec =
+          Workload.generate_spec ~seed:obs.Driver.seed ~index ~n_processes:procs
+            ()
+        in
+        let problem = Workload.problem_of_spec { Workload.ser; hpd } spec in
+        Format.printf "%a@." Ftes_model.Problem.pp problem;
+        Printf.printf "deadline %.2f ms, gamma %g, mu %.3f ms, %d edges\n"
+          spec.Workload.deadline_ms spec.Workload.gamma spec.Workload.mu_ms
+          (Ftes_model.Task_graph.n_edges spec.Workload.graph);
+        if dot then
+          print_string (Ftes_model.Task_graph.to_dot spec.Workload.graph);
+        Ok ()
+      end)
 
 let generate_cmd =
   let index =
@@ -128,38 +99,35 @@ let generate_cmd =
     Arg.(value & flag & info [ "dot" ] ~doc:"Print the task graph in DOT form.")
   in
   let term =
-    Term.(const run_generate $ seed_arg $ index $ procs $ ser $ hpd $ dot)
+    Term.(
+      const run_generate $ Driver.obs_term $ index $ procs $ ser $ hpd $ dot)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic application")
     Term.(term_result term)
 
 (* simulate *)
 
-let run_simulate file example strategy trials boost seed =
-  match (resolve_problem ~file ~example, config_of_strategy strategy) with
-  | Error e, _ | _, Error e -> fail "%s" e
-  | Ok problem, Ok config -> (
-      match Design_strategy.run ~config problem with
-      | None -> fail "no feasible design to simulate"
-      | Some s ->
-          let design = s.Design_strategy.result.Redundancy_opt.design in
-          let prng = Ftes_util.Prng.create seed in
-          let campaign =
-            Ftes_faultsim.Executor.run_campaign ~boost prng problem design
-              ~trials
-          in
-          Printf.printf
-            "trials %d (boost %.0fx)\n\
-             observed system-failure rate  %.4e\n\
-             SFP-predicted rate            %.4e\n\
-             within-budget deadline misses %d\n\
-             max within-budget makespan    %.2f ms\n"
-            campaign.Ftes_faultsim.Executor.trials boost
-            campaign.Ftes_faultsim.Executor.observed_failure_rate
-            campaign.Ftes_faultsim.Executor.predicted_failure_rate
-            campaign.Ftes_faultsim.Executor.deadline_misses
-            campaign.Ftes_faultsim.Executor.max_makespan;
-          Ok ())
+let run_simulate obs target trials boost =
+  Driver.with_solution obs target
+    ~on_none:(fun _ _ -> fail "no feasible design to simulate")
+    (fun problem _config s ->
+      let design = Driver.solution_design s in
+      let prng = Ftes_util.Prng.create obs.Driver.seed in
+      let campaign =
+        Ftes_faultsim.Executor.run_campaign ~boost prng problem design ~trials
+      in
+      Printf.printf
+        "trials %d (boost %.0fx)\n\
+         observed system-failure rate  %.4e\n\
+         SFP-predicted rate            %.4e\n\
+         within-budget deadline misses %d\n\
+         max within-budget makespan    %.2f ms\n"
+        campaign.Ftes_faultsim.Executor.trials boost
+        campaign.Ftes_faultsim.Executor.observed_failure_rate
+        campaign.Ftes_faultsim.Executor.predicted_failure_rate
+        campaign.Ftes_faultsim.Executor.deadline_misses
+        campaign.Ftes_faultsim.Executor.max_makespan;
+      Ok ())
 
 let simulate_cmd =
   let trials =
@@ -172,8 +140,8 @@ let simulate_cmd =
   in
   let term =
     Term.(
-      const run_simulate $ file_arg $ example_arg $ strategy_arg $ trials
-      $ boost $ seed_arg)
+      const run_simulate $ Driver.obs_term $ Driver.target_term $ trials
+      $ boost)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -182,23 +150,27 @@ let simulate_cmd =
 
 (* experiment *)
 
-let run_experiment figure apps seed =
-  let suite = lazy (Ftes_exp.Synthetic.create_suite ~count:apps ~seed ()) in
-  let render_one artifact =
-    print_string (Ftes_exp.Figures.render artifact);
-    print_newline ()
-  in
-  match figure with
-  | "6a" -> render_one (Ftes_exp.Figures.fig6a (Lazy.force suite)); Ok ()
-  | "6b" ->
-      List.iter render_one (Ftes_exp.Figures.fig6b (Lazy.force suite));
-      Ok ()
-  | "6c" -> render_one (Ftes_exp.Figures.fig6c (Lazy.force suite)); Ok ()
-  | "6d" -> render_one (Ftes_exp.Figures.fig6d (Lazy.force suite)); Ok ()
-  | "cc" ->
-      print_string (Ftes_exp.Figures.render_cc (Ftes_exp.Figures.cc_study ()));
-      Ok ()
-  | other -> fail "unknown figure %S (try 6a, 6b, 6c, 6d, cc)" other
+let run_experiment obs figure apps =
+  Driver.with_observability obs (fun () ->
+      let suite =
+        lazy (Ftes_exp.Synthetic.create_suite ~count:apps ~seed:obs.Driver.seed ())
+      in
+      let render_one artifact =
+        print_string (Ftes_exp.Figures.render artifact);
+        print_newline ()
+      in
+      match figure with
+      | "6a" -> render_one (Ftes_exp.Figures.fig6a (Lazy.force suite)); Ok ()
+      | "6b" ->
+          List.iter render_one (Ftes_exp.Figures.fig6b (Lazy.force suite));
+          Ok ()
+      | "6c" -> render_one (Ftes_exp.Figures.fig6c (Lazy.force suite)); Ok ()
+      | "6d" -> render_one (Ftes_exp.Figures.fig6d (Lazy.force suite)); Ok ()
+      | "cc" ->
+          print_string
+            (Ftes_exp.Figures.render_cc (Ftes_exp.Figures.cc_study ()));
+          Ok ()
+      | other -> fail "unknown figure %S (try 6a, 6b, 6c, 6d, cc)" other)
 
 let experiment_cmd =
   let figure =
@@ -209,40 +181,106 @@ let experiment_cmd =
     Arg.(value & opt int 150 & info [ "apps" ] ~docv:"N"
          ~doc:"Synthetic population size.")
   in
-  let term = Term.(const run_experiment $ figure $ apps $ seed_arg) in
+  let term = Term.(const run_experiment $ Driver.obs_term $ figure $ apps) in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce a figure or table of the paper")
     Term.(term_result term)
 
+(* profile *)
+
+module Metrics = Ftes_obs.Metrics
+module Obs_report = Ftes_obs.Report
+module Clock = Ftes_obs.Clock
+
+let run_profile obs target csv =
+  (* Span aggregation on regardless of --metrics: the breakdown is the
+     point of the command. *)
+  Driver.with_problem ~aggregate_spans:true obs target (fun problem config ->
+      (* Zero the registry after problem loading so the snapshot
+         describes the optimization run alone. *)
+      Metrics.reset ();
+      let t0 = Clock.now_ns () in
+      let solution = Design_strategy.run ~config problem in
+      let wall_ns = Clock.now_ns () - t0 in
+      let snapshot = Metrics.snapshot () in
+      Printf.printf "profile %s (strategy %s)\n"
+        (Driver.target_source target) target.Driver.strategy;
+      (match solution with
+      | Some s ->
+          Printf.printf
+            "feasible: cost %.2f, schedule length %.2f ms, %d architectures \
+             explored\n\n"
+            s.Design_strategy.result.Redundancy_opt.cost
+            s.Design_strategy.result.Redundancy_opt.schedule_length
+            s.Design_strategy.explored
+      | None -> print_string "no feasible design found\n\n");
+      if csv then
+        List.iter
+          (fun row -> print_endline (String.concat "," row))
+          (Obs_report.profile_to_csv ~wall_ns snapshot)
+      else print_string (Obs_report.profile_to_text ~wall_ns snapshot);
+      (* Certify the snapshot with the obs rules of the verifier; an
+         inconsistent registry means the numbers above are not
+         trustworthy. *)
+      let report =
+        Ftes_verify.Verify.run ~rules:Ftes_verify.Obs_rules.all
+          (Ftes_verify.Subject.with_metrics
+             (Ftes_verify.Subject.of_problem problem)
+             snapshot)
+      in
+      if not (Ftes_verify.Report.ok report) then begin
+        print_string (Ftes_verify.Report.to_text report);
+        Driver.request_exit Driver.Lint_failure
+      end;
+      Ok ())
+
+let profile_cmd =
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Emit the breakdown as CSV instead of a table.")
+  in
+  let term =
+    Term.(const run_profile $ Driver.obs_term $ Driver.target_term $ csv)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-phase time and allocation breakdown of an optimization run"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the selected design strategy with span aggregation \
+               enabled and prints a per-phase breakdown (calls, total time, \
+               share of wall-clock, allocation) recovered from the \
+               $(b,span.*) metrics.  The snapshot is then certified by the \
+               verifier's $(b,obs/*) rules; an inconsistent registry exits \
+               with status 3." ])
+    Term.(term_result term)
+
 (* worst-case *)
 
-let run_worst_case file example strategy limit =
-  match (resolve_problem ~file ~example, config_of_strategy strategy) with
-  | Error e, _ | _, Error e -> fail "%s" e
-  | Ok problem, Ok config -> (
-      match Design_strategy.run ~config problem with
-      | None -> fail "no feasible design to analyze"
-      | Some s -> (
-          let design = s.Design_strategy.result.Redundancy_opt.design in
-          let space = Ftes_faultsim.Scenarios.count_scenarios design in
-          if space > float_of_int limit then
-            fail "%.3g fault scenarios exceed --limit %d" space limit
-          else begin
-            let r = Ftes_faultsim.Scenarios.worst_case ~limit problem design in
-            Printf.printf
-              "scenarios replayed          %d\n\
-               shared bound (paper's SL)   %.2f ms\n\
-               exact worst case            %.2f ms\n\
-               conservative bound          %.2f ms\n\
-               shared bound optimistic?    %s\n"
-              r.Ftes_faultsim.Scenarios.scenarios
-              r.Ftes_faultsim.Scenarios.shared_bound_ms
-              r.Ftes_faultsim.Scenarios.exact_worst_ms
-              r.Ftes_faultsim.Scenarios.conservative_bound_ms
-              (if Ftes_faultsim.Scenarios.optimism_certificate r then "yes"
-               else "no");
-            Ok ()
-          end))
+let run_worst_case obs target limit =
+  Driver.with_solution obs target
+    ~on_none:(fun _ _ -> fail "no feasible design to analyze")
+    (fun problem _config s ->
+      let design = Driver.solution_design s in
+      let space = Ftes_faultsim.Scenarios.count_scenarios design in
+      if space > float_of_int limit then
+        fail "%.3g fault scenarios exceed --limit %d" space limit
+      else begin
+        let r = Ftes_faultsim.Scenarios.worst_case ~limit problem design in
+        Printf.printf
+          "scenarios replayed          %d\n\
+           shared bound (paper's SL)   %.2f ms\n\
+           exact worst case            %.2f ms\n\
+           conservative bound          %.2f ms\n\
+           shared bound optimistic?    %s\n"
+          r.Ftes_faultsim.Scenarios.scenarios
+          r.Ftes_faultsim.Scenarios.shared_bound_ms
+          r.Ftes_faultsim.Scenarios.exact_worst_ms
+          r.Ftes_faultsim.Scenarios.conservative_bound_ms
+          (if Ftes_faultsim.Scenarios.optimism_certificate r then "yes"
+           else "no");
+        Ok ()
+      end)
 
 let worst_case_cmd =
   let limit =
@@ -250,7 +288,7 @@ let worst_case_cmd =
          ~doc:"Maximum number of fault scenarios to replay.")
   in
   let term =
-    Term.(const run_worst_case $ file_arg $ example_arg $ strategy_arg $ limit)
+    Term.(const run_worst_case $ Driver.obs_term $ Driver.target_term $ limit)
   in
   Cmd.v
     (Cmd.info "worst-case"
@@ -259,26 +297,23 @@ let worst_case_cmd =
 
 (* checkpoint *)
 
-let run_checkpoint file example strategy save_ms =
-  match (resolve_problem ~file ~example, config_of_strategy strategy) with
-  | Error e, _ | _, Error e -> fail "%s" e
-  | Ok problem, Ok config -> (
-      match Design_strategy.run ~config problem with
-      | None -> fail "no feasible design to checkpoint"
-      | Some s ->
-          let design = s.Design_strategy.result.Redundancy_opt.design in
-          let plain = s.Design_strategy.result.Redundancy_opt.schedule_length in
-          let kappa, ckpt =
-            Ftes_core.Checkpoint_opt.optimize ?save_ms problem design
-          in
-          Printf.printf
-            "plain re-execution SL      %.2f ms\n\
-             checkpointed SL            %.2f ms (%.1f%% shorter)\n\
-             checkpoints per process    [%s]\n"
-            plain ckpt
-            (100.0 *. (plain -. ckpt) /. plain)
-            (String.concat ";" (Array.to_list (Array.map string_of_int kappa)));
-          Ok ())
+let run_checkpoint obs target save_ms =
+  Driver.with_solution obs target
+    ~on_none:(fun _ _ -> fail "no feasible design to checkpoint")
+    (fun problem _config s ->
+      let design = Driver.solution_design s in
+      let plain = s.Design_strategy.result.Redundancy_opt.schedule_length in
+      let kappa, ckpt =
+        Ftes_core.Checkpoint_opt.optimize ?save_ms problem design
+      in
+      Printf.printf
+        "plain re-execution SL      %.2f ms\n\
+         checkpointed SL            %.2f ms (%.1f%% shorter)\n\
+         checkpoints per process    [%s]\n"
+        plain ckpt
+        (100.0 *. (plain -. ckpt) /. plain)
+        (String.concat ";" (Array.to_list (Array.map string_of_int kappa)));
+      Ok ())
 
 let checkpoint_cmd =
   let save_ms =
@@ -287,7 +322,8 @@ let checkpoint_cmd =
                overhead).")
   in
   let term =
-    Term.(const run_checkpoint $ file_arg $ example_arg $ strategy_arg $ save_ms)
+    Term.(
+      const run_checkpoint $ Driver.obs_term $ Driver.target_term $ save_ms)
   in
   Cmd.v
     (Cmd.info "checkpoint"
@@ -308,40 +344,42 @@ let lint_json ~source ~strategy ~feasible report =
       ("feasible", Json.Bool feasible);
       ("report", Report.to_json report) ]
 
-(* Exit code 3 distinguishes "the verifier found an error" from
-   cmdliner's own 1/124/125 conventions. *)
-let lint_exit report =
-  if Report.ok report then Ok () else exit 3
-
-let run_lint file example strategy format =
-  match (resolve_problem ~file ~example, config_of_strategy strategy) with
-  | Error e, _ | _, Error e -> fail "%s" e
-  | Ok problem, Ok config ->
-      let source =
-        match file with Some path -> path | None -> "example:" ^ example
-      in
-      let config = { config with Config.certify = true } in
-      let feasible, report =
-        match Design_strategy.run ~config problem with
-        | Some { Design_strategy.certificate = Some report; _ } ->
-            (true, report)
-        | Some ({ Design_strategy.certificate = None; _ } as s) ->
+let run_lint obs target format =
+  Driver.with_solution obs target ~certify:true
+    ~on_none:(fun problem _config ->
+      let report = Verify.run (Subject.of_problem problem) in
+      Printf.printf "lint %s (strategy %s) — no feasible design, problem \
+                     rules only\n"
+        (Driver.target_source target) target.Driver.strategy;
+      print_string (Report.to_text report);
+      if not (Report.ok report) then
+        Driver.request_exit Driver.Lint_failure;
+      Ok ())
+    (fun problem config s ->
+      let source = Driver.target_source target in
+      let report =
+        match s.Design_strategy.certificate with
+        | Some report -> report
+        | None ->
             (* Unreachable with certify on, but never drop the report. *)
-            ( true,
-              Verify.certify ~slack:config.Config.slack problem
-                s.Design_strategy.result.Redundancy_opt.design
-                s.Design_strategy.schedule )
-        | None -> (false, Verify.run (Subject.of_problem problem))
+            Verify.certify ~slack:config.Config.slack problem
+              (Driver.solution_design s) s.Design_strategy.schedule
       in
       (match format with
       | `Json ->
           print_endline
-            (Json.to_string (lint_json ~source ~strategy ~feasible report))
+            (Json.to_string
+               (lint_json ~source ~strategy:target.Driver.strategy
+                  ~feasible:true report))
       | `Text ->
-          Printf.printf "lint %s (strategy %s)%s\n" source strategy
-            (if feasible then "" else " — no feasible design, problem rules only");
+          Printf.printf "lint %s (strategy %s)\n" source target.Driver.strategy;
           print_string (Report.to_text report));
-      lint_exit report
+      (* Exit code 3 distinguishes "the verifier found an error" from
+         cmdliner's own 1/124/125 conventions; requested, not exited,
+         so --trace/--metrics still flush. *)
+      if not (Report.ok report) then
+        Driver.request_exit Driver.Lint_failure;
+      Ok ())
 
 let lint_cmd =
   let format =
@@ -351,7 +389,7 @@ let lint_cmd =
          ~doc:"Report format: $(b,text) or $(b,json).")
   in
   let term =
-    Term.(const run_lint $ file_arg $ example_arg $ strategy_arg $ format)
+    Term.(const run_lint $ Driver.obs_term $ Driver.target_term $ format)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -368,20 +406,25 @@ let lint_cmd =
 
 (* export *)
 
-let run_export example output =
-  match problem_of_example example with
-  | Error e -> fail "%s" e
-  | Ok problem ->
-      Ftes_model.Problem_io.save output problem;
-      Printf.printf "wrote %s\n" output;
-      Ok ()
+let run_export obs example output =
+  Driver.with_observability obs (fun () ->
+      match Driver.problem_of_example example with
+      | Error e -> fail "%s" e
+      | Ok problem ->
+          Ftes_model.Problem_io.save output problem;
+          Printf.printf "wrote %s\n" output;
+          Ok ())
 
 let export_cmd =
+  let example =
+    let doc = "Built-in problem: $(b,fig1), $(b,fig3) or $(b,cc)." in
+    Arg.(value & opt string "fig1" & info [ "example"; "e" ] ~docv:"NAME" ~doc)
+  in
   let output =
     Arg.(value & opt string "problem.json" & info [ "output"; "o" ] ~docv:"PATH"
          ~doc:"Destination file.")
   in
-  let term = Term.(const run_export $ example_arg $ output) in
+  let term = Term.(const run_export $ Driver.obs_term $ example $ output) in
   Cmd.v
     (Cmd.info "export" ~doc:"Write a built-in problem instance as JSON")
     Term.(term_result term)
@@ -392,6 +435,10 @@ let () =
      processors (DATE 2009 reproduction)"
   in
   let info = Cmd.info "ftes" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-       [ optimize_cmd; generate_cmd; simulate_cmd; experiment_cmd; export_cmd;
-         worst_case_cmd; checkpoint_cmd; lint_cmd ]))
+  exit
+    (Driver.finish
+       (Cmd.eval
+          (Cmd.group info
+             [ optimize_cmd; generate_cmd; simulate_cmd; experiment_cmd;
+               profile_cmd; export_cmd; worst_case_cmd; checkpoint_cmd;
+               lint_cmd ])))

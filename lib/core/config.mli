@@ -40,9 +40,59 @@ type t = {
           test-suite can compare both paths. *)
 }
 
+val make :
+  ?tabu_tenure:int ->
+  ?waiting_boost:int ->
+  ?max_stall:int ->
+  ?max_iterations:int ->
+  ?move_candidates:int ->
+  ?kmax:int ->
+  ?slack:Ftes_sched.Scheduler.slack_mode ->
+  ?bus:Ftes_sched.Bus.policy ->
+  ?hardening:hardening_policy ->
+  ?certify:bool ->
+  ?memoize:bool ->
+  unit ->
+  t
+(** The supported constructor: every omitted knob takes the {!default}
+    value, and bounds are validated ([Invalid_argument] on a negative
+    tenure/stall/iteration budget, [move_candidates < 1] or a negative
+    [kmax]).  Prefer [make] + the [with_*] builders below over record
+    literals/updates — construction sites written this way survive new
+    knobs unchanged (the record stays exposed as the representation,
+    for pattern matching). *)
+
 val default : t
-(** [Optimize] policy, shared slack, FCFS bus, tenure 3, stall 10,
-    kmax 12, memoization on. *)
+(** [make ()]: [Optimize] policy, shared slack, FCFS bus, tenure 3,
+    stall 10, kmax 12, memoization on. *)
+
+(** {2 Builders}
+
+    [with_field v t] is [t] with [field] replaced; composable by
+    piping: [Config.(default |> with_slack Dedicated |> with_certify
+    true)]. *)
+
+val with_tabu_tenure : int -> t -> t
+
+val with_waiting_boost : int -> t -> t
+
+val with_max_stall : int -> t -> t
+
+val with_max_iterations : int -> t -> t
+
+val with_move_candidates : int -> t -> t
+
+val with_kmax : int -> t -> t
+
+val with_slack : Ftes_sched.Scheduler.slack_mode -> t -> t
+
+val with_bus : Ftes_sched.Bus.policy -> t -> t
+
+val with_hardening : hardening_policy -> t -> t
+
+val with_certify : bool -> t -> t
+
+val with_memoize : bool -> t -> t
 
 val min_strategy : t
 (** {!default} with [Fixed_min]. *)

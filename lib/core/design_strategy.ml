@@ -43,7 +43,15 @@ let min_hardening_cost problem members =
     (fun acc j -> acc +. Problem.min_cost problem ~node:j)
     0.0 members
 
+let c_explored = Ftes_obs.Metrics.counter "strategy.explored"
+
+let c_pruned = Ftes_obs.Metrics.counter "strategy.pruned"
+
+let c_runs = Ftes_obs.Metrics.counter "strategy.runs"
+
 let run ?pool ?cache ~config problem =
+  Ftes_obs.Metrics.incr c_runs;
+  Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
   let lib = Problem.n_library problem in
   (* An externally supplied cache lets several runs over the same
      problem (e.g. a hardening-policy sweep) share evaluations; it must
@@ -95,10 +103,13 @@ let run ?pool ?cache ~config problem =
   let rec size_level_seq = function
     | [] -> ()
     | members :: rest ->
-        if min_hardening_cost problem members >= !best_cost then
+        if min_hardening_cost problem members >= !best_cost then begin
+          Ftes_obs.Metrics.incr c_pruned;
           size_level_seq rest (* line 6: cannot beat the best-so-far *)
+        end
         else begin
           incr explored;
+          Ftes_obs.Metrics.incr c_explored;
           match evaluate_architecture members with
           | `Unschedulable -> ()
           | `Schedulable result ->
@@ -122,10 +133,13 @@ let run ?pool ?cache ~config problem =
       match (candidates, results) with
       | [], [] -> true
       | members :: candidates, result :: results ->
-          if min_hardening_cost problem members >= !best_cost then
+          if min_hardening_cost problem members >= !best_cost then begin
+            Ftes_obs.Metrics.incr c_pruned;
             merge candidates results
+          end
           else begin
             incr explored;
+            Ftes_obs.Metrics.incr c_explored;
             match result with
             | `Unschedulable -> false
             | `Schedulable result ->
@@ -171,6 +185,7 @@ let run ?pool ?cache ~config problem =
   done;
   Option.map
     (fun (result : Redundancy_opt.result) ->
+      Ftes_obs.Span.with_ ~name:"strategy/finalize" @@ fun () ->
       let design = result.Redundancy_opt.design in
       let schedule =
         Scheduler.schedule ~slack:config.Config.slack ~bus:config.Config.bus

@@ -4,6 +4,14 @@ module Design = Ftes_model.Design
 
 type objective = Schedule_length | Architecture_cost
 
+let c_iterations = Ftes_obs.Metrics.counter "tabu.iterations"
+
+let c_moves = Ftes_obs.Metrics.counter "tabu.moves"
+
+let c_accepts = Ftes_obs.Metrics.counter "tabu.accepts"
+
+let c_aspirations = Ftes_obs.Metrics.counter "tabu.aspirations"
+
 (* Lexicographic score: the first component is the objective, the second
    breaks ties (and guides the walk through infeasible regions). *)
 type score = float * float
@@ -105,6 +113,7 @@ let better objective (a : Redundancy_opt.result) (b : Redundancy_opt.result) =
   | Architecture_cost -> a.Redundancy_opt.cost < b.Redundancy_opt.cost
 
 let run ?cache ?pool ~config ~objective ?initial problem ~members =
+  Ftes_obs.Span.with_ ~name:"mapping/run" @@ fun () ->
   let n = Problem.n_processes problem in
   let m = Array.length members in
   let mapping =
@@ -133,6 +142,7 @@ let run ?cache ?pool ~config ~objective ?initial problem ~members =
       if iter >= config.Config.max_iterations || stall >= config.Config.max_stall
       then ()
       else begin
+        Ftes_obs.Metrics.incr c_iterations;
         let critical = critical_processes problem ~members mapping in
         let candidates =
           List.sort
@@ -154,6 +164,7 @@ let run ?cache ?pool ~config ~objective ?initial problem ~members =
                 (List.init m Fun.id))
             candidates
         in
+        Ftes_obs.Metrics.add c_moves (List.length move_specs);
         let evaluated =
           Ftes_par.Pool.map ?pool
             (fun (p, slot) ->
@@ -188,13 +199,16 @@ let run ?cache ?pool ~config ~objective ?initial problem ~members =
               match overall with
               (* Aspiration: a move beating the best-so-far is taken even
                  if its process is tabu. *)
-              | Some (_, _, score) when score_lt score !best_score -> overall
+              | Some (_, _, score) when score_lt score !best_score ->
+                  Ftes_obs.Metrics.incr c_aspirations;
+                  overall
               | Some _ | None -> (
                   match non_tabu with Some _ -> non_tabu | None -> overall)
             in
             (match chosen with
             | None -> ()
             | Some (p, slot, score) ->
+                Ftes_obs.Metrics.incr c_accepts;
                 mapping.(p) <- slot;
                 tabu.(p) <- config.Config.tabu_tenure;
                 wait.(p) <- 0;

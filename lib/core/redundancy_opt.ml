@@ -82,40 +82,46 @@ let create_cache ?(max_evals = 200_000) () =
 
 let sfp_cache cache = cache.sfp
 
-let eval_hits = Atomic.make 0
+(* Cache statistics live on the Ftes_obs registry: one source of truth
+   for the bench harness (via [eval_stats]), metrics snapshots and the
+   `obs/cache-consistency` verifier rule.  [evals.*] counts both the
+   whole-evaluation and the probe memo tables, as before. *)
+let c_eval_lookups = Ftes_obs.Metrics.counter "evals.lookups"
 
-let eval_misses = Atomic.make 0
+let c_eval_hits = Ftes_obs.Metrics.counter "evals.hits"
+
+let c_eval_misses = Ftes_obs.Metrics.counter "evals.misses"
+
+let c_eval_fresh = Ftes_obs.Metrics.counter "evals.fresh"
 
 type eval_stats = { hits : int; misses : int; fresh : int }
 
-let fresh_evals = Atomic.make 0
-
 let eval_stats () =
-  { hits = Atomic.get eval_hits;
-    misses = Atomic.get eval_misses;
-    fresh = Atomic.get fresh_evals }
+  { hits = Ftes_obs.Metrics.counter_value c_eval_hits;
+    misses = Ftes_obs.Metrics.counter_value c_eval_misses;
+    fresh = Ftes_obs.Metrics.counter_value c_eval_fresh }
 
 let reset_eval_stats () =
-  Atomic.set eval_hits 0;
-  Atomic.set eval_misses 0;
-  Atomic.set fresh_evals 0
+  List.iter Ftes_obs.Metrics.reset_counter
+    [ c_eval_lookups; c_eval_hits; c_eval_misses; c_eval_fresh ]
 
 let deadline problem =
   problem.Problem.app.Ftes_model.Application.deadline_ms
 
 let evaluate_fresh ?sfp config problem design levels =
-  Atomic.incr fresh_evals;
-  let d = Design.with_levels design levels in
-  match
-    Re_execution_opt.optimize ?cache:sfp ~kmax:config.Config.kmax problem d
-  with
-  | None -> None
-  | Some d ->
-      let schedule_length =
-        Scheduler.schedule_length ~slack:config.Config.slack
-          ~bus:config.Config.bus problem d
-      in
-      Some { design = d; schedule_length; cost = Design.cost problem d }
+  Ftes_obs.Metrics.incr c_eval_fresh;
+  Ftes_obs.Span.with_ ~name:"opt/evaluate" (fun () ->
+      let d = Design.with_levels design levels in
+      match
+        Re_execution_opt.optimize ?cache:sfp ~kmax:config.Config.kmax problem d
+      with
+      | None -> None
+      | Some d ->
+          let schedule_length =
+            Scheduler.schedule_length ~slack:config.Config.slack
+              ~bus:config.Config.bus problem d
+          in
+          Some { design = d; schedule_length; cost = Design.cost problem d })
 
 let locked cache f =
   Mutex.lock cache.mutex;
@@ -132,12 +138,13 @@ let evaluate ?cache config problem design levels =
           levels;
           mapping = design.Design.mapping }
       in
+      Ftes_obs.Metrics.incr c_eval_lookups;
       match locked cache (fun () -> Eval_tbl.find_opt cache.evals key) with
       | Some result ->
-          Atomic.incr eval_hits;
+          Ftes_obs.Metrics.incr c_eval_hits;
           result
       | None ->
-          Atomic.incr eval_misses;
+          Ftes_obs.Metrics.incr c_eval_misses;
           (* Compute outside the lock; a duplicated concurrent
              evaluation of the same pure key is harmless. *)
           let result =
@@ -163,6 +170,7 @@ let max_levels problem design =
    Returns the first schedulable result (if any) and the best schedule
    length seen anywhere along the way. *)
 let escalate ?cache config problem design =
+  Ftes_obs.Span.with_ ~name:"opt/escalate" @@ fun () ->
   let d = deadline problem in
   let rec climb levels best_len =
     let here = evaluate ?cache config problem design levels in
@@ -200,6 +208,7 @@ let escalate ?cache config problem design =
 (* Reduction: keep taking the cheapest schedulable single-level
    decrease. *)
 let reduce ?cache config problem design (current : result) =
+  Ftes_obs.Span.with_ ~name:"opt/reduce" @@ fun () ->
   let d = deadline problem in
   let rec descend (current : result) =
     let levels = current.design.Design.levels in
@@ -268,12 +277,13 @@ let probe ?cache ~config problem design =
           pr_members = design.Design.members;
           pr_mapping = design.Design.mapping }
       in
+      Ftes_obs.Metrics.incr c_eval_lookups;
       match locked cache (fun () -> Probe_tbl.find_opt cache.probes key) with
       | Some outcome ->
-          Atomic.incr eval_hits;
+          Ftes_obs.Metrics.incr c_eval_hits;
           outcome
       | None ->
-          Atomic.incr eval_misses;
+          Ftes_obs.Metrics.incr c_eval_misses;
           let outcome = probe_uncached ~cache ~config problem design in
           let key =
             { key with

@@ -37,7 +37,7 @@ let slack_ablation ?pool ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
   let runs =
     List.map
       (fun (name, slack) ->
-        let config = { Config.default with Config.slack } in
+        let config = Config.with_slack slack Config.default in
         let costs =
           Ftes_par.Pool.map ?pool
             (fun spec ->
@@ -97,7 +97,7 @@ let mapping_ablation ?pool ?(count = 40) ?(ser = 1e-11) ?(hpd = 0.25) ~seed () =
   let variants =
     [ ("tabu search (paper)", Config.default);
       ( "greedy initial mapping only",
-        { Config.default with Config.max_iterations = 0 } ) ]
+        Config.with_max_iterations 0 Config.default ) ]
   in
   List.map
     (fun (variant, config) ->

@@ -175,7 +175,7 @@ type cc_result = {
 let cc_study ?(config = Config.default) () =
   let problem = Ftes_cc.Cruise_control.problem () in
   let run policy =
-    let config = { config with Config.hardening = policy } in
+    let config = Config.with_hardening policy config in
     Design_strategy.run ~config problem
   in
   let describe policy =

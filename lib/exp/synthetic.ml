@@ -12,7 +12,8 @@ type cell_run = {
 }
 
 let run_cell ?pool ?params ?(config = Config.default) ~specs key =
-  let config = { config with Config.hardening = key.policy } in
+  Ftes_obs.Span.with_ ~name:"exp/cell" @@ fun () ->
+  let config = Config.with_hardening key.policy config in
   let cell = { Workload.ser = key.ser; hpd = key.hpd } in
   let t0 = Sys.time () in
   let costs =

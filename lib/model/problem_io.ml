@@ -1,6 +1,13 @@
 module Json = Ftes_util.Json
 open Json
 
+(* v1 added the explicit "schema_version" field; versionless documents
+   are the pre-versioning format, accepted as v0 with a deprecation
+   warning.  The payload of v0 and v1 is identical — the field exists
+   so that a future payload change can be told apart from a corrupt
+   file instead of surfacing as a confusing constructor error. *)
+let schema_version = 1
+
 let to_json (problem : Problem.t) =
   let app = problem.Problem.app in
   let graph = app.Application.graph in
@@ -26,7 +33,8 @@ let to_json (problem : Problem.t) =
         ("versions", List (Array.to_list (Array.map version nt.versions))) ]
   in
   Object
-    [ ( "application",
+    [ ("schema_version", Number (float_of_int schema_version));
+      ( "application",
         Object
           [ ("name", String app.Application.name);
             ("deadline_ms", Number app.Application.deadline_ms);
@@ -95,7 +103,29 @@ let application_of_json json =
         ~process_names:(Array.of_list process_names)
         ~period_ms ~graph ~deadline_ms ~gamma ~recovery_overhead_ms ())
 
-let of_json json =
+let default_warn msg = Printf.eprintf "problem_io: warning: %s\n%!" msg
+
+let of_json ?(on_warning = default_warn) json =
+  let* () =
+    match member "schema_version" json with
+    | Error _ ->
+        on_warning
+          (Printf.sprintf
+             "document has no \"schema_version\" field; reading it as the \
+              deprecated v0 format (re-export to upgrade to v%d)"
+             schema_version);
+        Ok ()
+    | Ok v -> (
+        match to_int v with
+        | Error e -> Error ("schema_version: " ^ e)
+        | Ok v when v = 0 || v = schema_version -> Ok ()
+        | Ok v ->
+            Error
+              (Printf.sprintf
+                 "unsupported schema_version %d (this build reads versions 0 \
+                  and %d; a newer ftes probably wrote this file)"
+                 v schema_version))
+  in
   let* app_json = member "application" json in
   let* app = application_of_json app_json in
   let* library_items = Result.bind (member "library" json) to_list in
@@ -105,9 +135,9 @@ let of_json json =
 
 let to_string problem = Json.to_string (to_json problem)
 
-let of_string text =
+let of_string ?on_warning text =
   let* json = Json.of_string text in
-  of_json json
+  of_json ?on_warning json
 
 let save path problem =
   let oc = open_out path in
@@ -117,12 +147,12 @@ let save path problem =
       output_string oc (to_string problem);
       output_char oc '\n')
 
-let load path =
+let load ?on_warning path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> of_string text
+  | text -> of_string ?on_warning text
   | exception Sys_error msg -> Error msg

@@ -4,6 +4,7 @@
 
     {v
     {
+      "schema_version": 1,
       "application": {
         "name": "fig1",
         "deadline_ms": 360, "period_ms": 360,
@@ -22,18 +23,33 @@
 
     Loading re-validates everything through the checked constructors, so
     a malformed file is reported as an [Error] rather than producing an
-    inconsistent instance. *)
+    inconsistent instance.
+
+    {2 Versioning}
+
+    Writers stamp {!schema_version} (currently 1).  Readers accept
+    version 1, and treat a document {e without} the field as the
+    deprecated pre-versioning v0 format — same payload — reporting a
+    deprecation through [on_warning] (default: a line on stderr).  Any
+    other version is rejected with a diagnostic naming both the found
+    and the supported versions. *)
+
+val schema_version : int
+(** The version this build writes. *)
 
 val to_json : Problem.t -> Ftes_util.Json.t
 
-val of_json : Ftes_util.Json.t -> (Problem.t, string) result
+val of_json :
+  ?on_warning:(string -> unit) -> Ftes_util.Json.t -> (Problem.t, string) result
 
 val to_string : Problem.t -> string
 
-val of_string : string -> (Problem.t, string) result
+val of_string :
+  ?on_warning:(string -> unit) -> string -> (Problem.t, string) result
 
 val save : string -> Problem.t -> unit
 (** Write to a file (overwrites). *)
 
-val load : string -> (Problem.t, string) result
+val load :
+  ?on_warning:(string -> unit) -> string -> (Problem.t, string) result
 (** Read and parse a file; I/O errors are reported as [Error]. *)

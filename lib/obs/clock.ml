@@ -1,0 +1,5 @@
+external now_ns : unit -> int = "ftes_obs_clock_ns" [@@noalloc]
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let ns_to_s ns = float_of_int ns /. 1e9

@@ -1,0 +1,11 @@
+(** Monotonic clock, via a [clock_gettime(CLOCK_MONOTONIC)] stub.
+
+    Readings are nanoseconds since an arbitrary epoch (boot on Linux),
+    returned as an untagged [int]: no allocation per call, and 62 bits
+    hold ~146 years of uptime.  Only differences are meaningful. *)
+
+external now_ns : unit -> int = "ftes_obs_clock_ns" [@@noalloc]
+
+val ns_to_ms : int -> float
+
+val ns_to_s : int -> float

@@ -1,0 +1,16 @@
+/* Monotonic clock for the observability layer.
+ *
+ * CLOCK_MONOTONIC nanoseconds fit a 62-bit OCaml int for ~146 years of
+ * uptime, so the reading is returned untagged (no allocation), which
+ * keeps an enabled span at two clock calls and one minor-heap record. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ftes_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

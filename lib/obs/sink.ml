@@ -1,0 +1,80 @@
+module Json = Ftes_util.Json
+
+(* One record per *completed* span.  Emitting at completion (rather
+   than begin/end event pairs) keeps the JSONL trace trivially
+   well-formed: nesting is recoverable from (domain, depth, start,
+   duration) alone, and a crash loses at most the spans still open. *)
+type event = {
+  name : string;
+  domain : int;
+  depth : int;
+  parent : string option;
+  start_ns : int;
+  dur_ns : int;
+  alloc_b : float;
+}
+
+type t =
+  | Null
+  | Jsonl of { oc : out_channel; mutex : Mutex.t }
+  | Memory of { events : event list ref; mutex : Mutex.t }
+
+let null = Null
+
+let jsonl oc = Jsonl { oc; mutex = Mutex.create () }
+
+let memory () = Memory { events = ref []; mutex = Mutex.create () }
+
+let is_null = function Null -> true | Jsonl _ | Memory _ -> false
+
+let event_to_json e =
+  Json.Object
+    [ ("name", Json.String e.name);
+      ("domain", Json.Number (float_of_int e.domain));
+      ("depth", Json.Number (float_of_int e.depth));
+      ( "parent",
+        match e.parent with Some p -> Json.String p | None -> Json.Null );
+      ("start_ns", Json.Number (float_of_int e.start_ns));
+      ("dur_ns", Json.Number (float_of_int e.dur_ns));
+      ("alloc_b", Json.Number e.alloc_b) ]
+
+let event_of_json json =
+  let ( let* ) = Result.bind in
+  let* name = Result.bind (Json.member "name" json) Json.to_string_value in
+  let* domain = Result.bind (Json.member "domain" json) Json.to_int in
+  let* depth = Result.bind (Json.member "depth" json) Json.to_int in
+  let* parent =
+    match Json.member "parent" json with
+    | Ok Json.Null -> Ok None
+    | Ok j -> Result.map Option.some (Json.to_string_value j)
+    | Error e -> Error e
+  in
+  let* start_ns = Result.bind (Json.member "start_ns" json) Json.to_int in
+  let* dur_ns = Result.bind (Json.member "dur_ns" json) Json.to_int in
+  let* alloc_b = Result.bind (Json.member "alloc_b" json) Json.to_float in
+  Ok { name; domain; depth; parent; start_ns; dur_ns; alloc_b }
+
+let locked mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let emit t event =
+  match t with
+  | Null -> ()
+  | Jsonl { oc; mutex } ->
+      let line = Json.to_string ~minify:true (event_to_json event) in
+      locked mutex (fun () ->
+          output_string oc line;
+          output_char oc '\n')
+  | Memory { events; mutex } ->
+      locked mutex (fun () -> events := event :: !events)
+
+let memory_events t =
+  match t with
+  | Memory { events; mutex } -> locked mutex (fun () -> List.rev !events)
+  | Null | Jsonl _ -> []
+
+let flush t =
+  match t with
+  | Jsonl { oc; mutex } -> locked mutex (fun () -> flush oc)
+  | Null | Memory _ -> ()

@@ -63,6 +63,14 @@ module Deque = struct
     end
 end
 
+let c_tasks = Ftes_obs.Metrics.counter "pool.tasks"
+
+let c_steals = Ftes_obs.Metrics.counter "pool.steals"
+
+let c_busy_ns = Ftes_obs.Metrics.counter "pool.busy_ns"
+
+let c_maps = Ftes_obs.Metrics.counter "pool.parallel_maps"
+
 let run_tasks ~workers ~n exec =
   (* Block-distribute the indices: worker [w] owns the contiguous slice
      [w*n/workers, (w+1)*n/workers), which keeps owner pops cache-local
@@ -83,6 +91,8 @@ let run_tasks ~workers ~n exec =
   in
   let worker w () =
     Domain.DLS.set inside_worker true;
+    let t0 = Ftes_obs.Clock.now_ns () in
+    let stolen = ref 0 in
     let own = deques.(w) in
     let rec drain_own () =
       match Deque.pop own with
@@ -100,6 +110,7 @@ let run_tasks ~workers ~n exec =
         match Deque.steal deques.((w + off) mod workers) with
         | Deque.Stolen i ->
             guarded_exec i;
+            incr stolen;
             progress := true
         | Deque.Retry -> retry := true
         | Deque.Empty -> ()
@@ -109,8 +120,11 @@ let run_tasks ~workers ~n exec =
         scavenge ()
       end
     in
-    drain_own ();
-    scavenge ();
+    Ftes_obs.Span.with_ ~name:"pool/worker" (fun () ->
+        drain_own ();
+        scavenge ());
+    Ftes_obs.Metrics.add c_steals !stolen;
+    Ftes_obs.Metrics.add c_busy_ns (max 0 (Ftes_obs.Clock.now_ns () - t0));
     Domain.DLS.set inside_worker false
   in
   let spawned =
@@ -127,6 +141,8 @@ let map_array ?(pool = sequential) f xs =
   let workers = min pool.domains n in
   if workers <= 1 || Domain.DLS.get inside_worker then Array.map f xs
   else begin
+    Ftes_obs.Metrics.incr c_maps;
+    Ftes_obs.Metrics.add c_tasks n;
     let results = Array.make n None in
     run_tasks ~workers ~n (fun i -> results.(i) <- Some (f xs.(i)));
     Array.map

@@ -26,9 +26,15 @@ type t = {
   misses : int Atomic.t;
 }
 
-let global_hits = Atomic.make 0
+(* Process-wide totals live on the Ftes_obs registry (PR 3 migrated
+   them off ad-hoc atomics), so metrics snapshots and the `ftes
+   profile` breakdown see them without extra plumbing; the per-instance
+   counters below stay plain atomics, as tests inspect them per run. *)
+let c_lookups = Ftes_obs.Metrics.counter "sfp_cache.lookups"
 
-let global_misses = Atomic.make 0
+let c_hits = Ftes_obs.Metrics.counter "sfp_cache.hits"
+
+let c_misses = Ftes_obs.Metrics.counter "sfp_cache.misses"
 
 let create ?(max_entries = 1 lsl 18) () =
   if max_entries < 1 then invalid_arg "Sfp_cache.create: empty capacity";
@@ -49,14 +55,15 @@ let node_analysis t problem design ~member ~kmax =
       kmax;
       procs = Array.of_list (Design.procs_on design ~member) }
   in
+  Ftes_obs.Metrics.incr c_lookups;
   match locked t (fun () -> Key_tbl.find_opt t.table key) with
   | Some analysis ->
       Atomic.incr t.hits;
-      Atomic.incr global_hits;
+      Ftes_obs.Metrics.incr c_hits;
       analysis
   | None ->
       Atomic.incr t.misses;
-      Atomic.incr global_misses;
+      Ftes_obs.Metrics.incr c_misses;
       (* Compute outside the lock: a concurrent duplicate computation
          of a pure function is cheaper than serializing the kernel. *)
       let analysis =
@@ -80,12 +87,13 @@ let entries t =
 type totals = { total_hits : int; total_misses : int }
 
 let totals () =
-  { total_hits = Atomic.get global_hits;
-    total_misses = Atomic.get global_misses }
+  { total_hits = Ftes_obs.Metrics.counter_value c_hits;
+    total_misses = Ftes_obs.Metrics.counter_value c_misses }
 
 let reset_totals () =
-  Atomic.set global_hits 0;
-  Atomic.set global_misses 0
+  Ftes_obs.Metrics.reset_counter c_lookups;
+  Ftes_obs.Metrics.reset_counter c_hits;
+  Ftes_obs.Metrics.reset_counter c_misses
 
 let hit_rate { total_hits; total_misses } =
   let lookups = total_hits + total_misses in

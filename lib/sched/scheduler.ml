@@ -9,7 +9,14 @@ type slack_mode =
   | Per_process of int array
   | Checkpointed of { kappa : int array; save_ms : float }
 
+let c_schedules = Ftes_obs.Metrics.counter "sched.schedules"
+
+let c_priority_passes = Ftes_obs.Metrics.counter "sched.priority_passes"
+
+let c_slack_recomputations = Ftes_obs.Metrics.counter "sched.slack_recomputations"
+
 let priorities problem design =
+  Ftes_obs.Metrics.incr c_priority_passes;
   let graph = Problem.graph problem in
   let exec proc = Design.wcet problem design ~proc in
   let comm (e : Task_graph.edge) =
@@ -18,7 +25,7 @@ let priorities problem design =
   in
   Task_graph.bottom_levels graph ~exec ~comm
 
-let schedule ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
+let schedule_impl ~slack ~bus problem design =
   let graph = Problem.graph problem in
   let n = Task_graph.n graph in
   (match slack with
@@ -141,6 +148,7 @@ let schedule ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
      slack region after its nominal finish, sized by its largest
      process; in Dedicated mode each process already carries its own
      slack, so the node ends at the last commit. *)
+  Ftes_obs.Metrics.incr c_slack_recomputations;
   let node_worst =
     Array.init members (fun slot ->
         match slack with
@@ -166,6 +174,11 @@ let schedule ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
   let length = Array.fold_left Float.max 0.0 node_worst in
   { Schedule.entries; messages = List.rev !messages; node_finish; node_worst;
     length }
+
+let schedule ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
+  Ftes_obs.Metrics.incr c_schedules;
+  Ftes_obs.Span.with_ ~name:"sched/schedule" (fun () ->
+      schedule_impl ~slack ~bus problem design)
 
 let schedule_length ?slack ?bus problem design =
   Schedule.length (schedule ?slack ?bus problem design)

@@ -13,6 +13,12 @@ type node_analysis = {
 
 let default_kmax = 12
 
+let c_node_tables = Ftes_obs.Metrics.counter "sfp.node_tables"
+
+let c_enumerations = Ftes_obs.Metrics.counter "sfp.enumerations"
+
+let c_verdicts = Ftes_obs.Metrics.counter "sfp.verdicts"
+
 let node_analysis ?(kmax = default_kmax) probs =
   if kmax < 0 then invalid_arg "Sfp.node_analysis: negative kmax";
   Array.iter
@@ -20,11 +26,14 @@ let node_analysis ?(kmax = default_kmax) probs =
       if not (Rounding.is_probability p) || p >= 1.0 then
         invalid_arg "Sfp.node_analysis: probabilities must lie in [0, 1)")
     probs;
-  let pr0 =
-    Rounding.down (Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs)
-  in
-  let homogeneous = Symmetric.complete_homogeneous probs kmax in
-  { probs = Array.copy probs; kmax; pr0; homogeneous }
+  Ftes_obs.Metrics.incr c_node_tables;
+  Ftes_obs.Span.with_ ~name:"sfp/node_table" (fun () ->
+      let pr0 =
+        Rounding.down
+          (Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs)
+      in
+      let homogeneous = Symmetric.complete_homogeneous probs kmax in
+      { probs = Array.copy probs; kmax; pr0; homogeneous })
 
 let kmax t = t.kmax
 
@@ -44,6 +53,7 @@ let pr_exceeds t ~k =
 
 let pr_exceeds_enumerated probs ~k =
   if k < 0 then invalid_arg "Sfp.pr_exceeds_enumerated: negative k";
+  Ftes_obs.Metrics.incr c_enumerations;
   let n = Array.length probs in
   let pr0 =
     Rounding.down (Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 probs)
@@ -105,6 +115,7 @@ let analyses_for problem design =
 let evaluate_analyses problem design ~analyses =
   if Array.length analyses <> Design.n_members design then
     invalid_arg "Sfp.evaluate_analyses: one analysis per member expected";
+  Ftes_obs.Metrics.incr c_verdicts;
   let per_iteration_failure =
     system_failure_per_iteration analyses ~k:design.Design.reexecs
   in

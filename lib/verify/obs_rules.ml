@@ -1,0 +1,126 @@
+(* Consistency rules over a metrics snapshot attached to the subject.
+
+   The observability layer is write-only, so a broken invariant here
+   never corrupts a result — but it does mean the numbers a profile or
+   a bench report prints are lying, which is worth catching with the
+   same machinery that certifies schedules. *)
+
+module Metrics = Ftes_obs.Metrics
+module Span = Ftes_obs.Span
+module D = Diagnostic
+
+let metrics_exn subject =
+  match subject.Subject.metrics with
+  | Some m -> m
+  | None -> invalid_arg "verifier: obs rule run without a metrics snapshot"
+
+let find name assoc = List.assoc_opt name assoc
+
+(* obs/counters-monotone: counters only ever move up from zero, so a
+   negative value means the registry was bypassed or the snapshot was
+   edited. *)
+let check_counters subject =
+  let rule = "obs/counters-monotone" in
+  let m = metrics_exn subject in
+  List.filter_map
+    (fun (name, v) ->
+      if v < 0 then Some (D.error ~rule "counter %s is negative (%d)" name v)
+      else None)
+    m.Metrics.counters
+
+(* obs/cache-consistency: every cache instrumented in this repo exposes
+   the triple <prefix>.lookups / .hits / .misses, and each lookup is
+   classified exactly once, so hits + misses = lookups. *)
+let check_caches subject =
+  let rule = "obs/cache-consistency" in
+  let m = metrics_exn subject in
+  List.concat_map
+    (fun (name, lookups) ->
+      match Filename.chop_suffix_opt ~suffix:".lookups" name with
+      | None -> []
+      | Some prefix -> (
+          match
+            ( find (prefix ^ ".hits") m.Metrics.counters,
+              find (prefix ^ ".misses") m.Metrics.counters )
+          with
+          | Some hits, Some misses ->
+              if hits + misses <> lookups then
+                [ D.error ~rule
+                    "cache %s: hits (%d) + misses (%d) = %d, but %d lookups \
+                     were recorded"
+                    prefix hits misses (hits + misses) lookups ]
+              else []
+          | None, _ | _, None ->
+              [ D.warn ~rule
+                  "cache %s records lookups but not both hits and misses; \
+                   its hit rate cannot be audited"
+                  prefix ]))
+    m.Metrics.counters
+
+(* obs/histogram-consistency: bucket populations are non-negative and
+   sum to the recorded observation count; an empty histogram has sum
+   zero. *)
+let check_histograms subject =
+  let rule = "obs/histogram-consistency" in
+  let m = metrics_exn subject in
+  List.concat_map
+    (fun (name, h) ->
+      let negative =
+        Array.exists (fun b -> b < 0) h.Metrics.buckets
+      in
+      let bucket_total = Array.fold_left ( + ) 0 h.Metrics.buckets in
+      List.concat
+        [ (if negative then
+             [ D.error ~rule "histogram %s has a negative bucket" name ]
+           else []);
+          (if bucket_total <> h.Metrics.count then
+             [ D.error ~rule
+                 "histogram %s: buckets hold %d observations but count is %d"
+                 name bucket_total h.Metrics.count ]
+           else []);
+          (if h.Metrics.count = 0 && h.Metrics.sum <> 0 then
+             [ D.error ~rule
+                 "histogram %s is empty but its sum is %d" name h.Metrics.sum ]
+           else []) ])
+    m.Metrics.histograms
+
+(* obs/span-aggregates: the span aggregator bumps span.<n>.count and
+   observes span.<n>.ns.hist once per completed span, so the two must
+   agree unless one of them was reset mid-run. *)
+let check_span_aggregates subject =
+  let rule = "obs/span-aggregates" in
+  let m = metrics_exn subject in
+  List.concat_map
+    (fun (name, h) ->
+      match Filename.chop_suffix_opt ~suffix:".ns.hist" name with
+      | None -> []
+      | Some prefix -> (
+          if not (String.starts_with ~prefix:Span.span_prefix prefix) then []
+          else
+            match find (prefix ^ ".count") m.Metrics.counters with
+            | None ->
+                [ D.warn ~rule
+                    "span histogram %s has no matching %s.count counter" name
+                    prefix ]
+            | Some count ->
+                if count <> h.Metrics.count then
+                  [ D.error ~rule
+                      "span %s: %d completions counted but %d latencies \
+                       observed"
+                      prefix count h.Metrics.count ]
+                else []))
+    m.Metrics.histograms
+
+let all =
+  [ Rule.make ~id:"obs/counters-monotone"
+      ~synopsis:"metrics counters are non-negative" ~requires:Rule.Needs_metrics
+      check_counters;
+    Rule.make ~id:"obs/cache-consistency"
+      ~synopsis:"cache counters satisfy hits + misses = lookups"
+      ~requires:Rule.Needs_metrics check_caches;
+    Rule.make ~id:"obs/histogram-consistency"
+      ~synopsis:"histogram buckets are sane and sum to the count"
+      ~requires:Rule.Needs_metrics check_histograms;
+    Rule.make ~id:"obs/span-aggregates"
+      ~synopsis:"span completion counts match their latency histograms"
+      ~requires:Rule.Needs_metrics check_span_aggregates ]

@@ -1,0 +1,7 @@
+(** Internal-consistency rules over an attached metrics snapshot
+    ({!Subject.with_metrics}): counters are non-negative, every
+    instrumented cache satisfies hits + misses = lookups, histogram
+    buckets sum to their counts, and span completion counters agree
+    with their latency histograms. *)
+
+val all : Rule.t list

@@ -3,6 +3,7 @@ type requires =
   | Needs_design
   | Needs_schedule
   | Needs_sfp_tables
+  | Needs_metrics
 
 type t = {
   id : string;
@@ -21,3 +22,4 @@ let applicable subject t =
       subject.Subject.design <> None && subject.Subject.schedule <> None
   | Needs_sfp_tables ->
       subject.Subject.design <> None && subject.Subject.sfp_tables <> None
+  | Needs_metrics -> subject.Subject.metrics <> None

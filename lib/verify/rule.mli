@@ -6,6 +6,8 @@ type requires =
   | Needs_schedule  (** skipped unless design and schedule are present. *)
   | Needs_sfp_tables
       (** skipped unless design and memoized SFP tables are present. *)
+  | Needs_metrics
+      (** skipped unless the subject carries a metrics snapshot. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

@@ -11,17 +11,20 @@ type t = {
   slack : Scheduler.slack_mode;
   bus : Bus.policy;
   sfp_tables : Ftes_sfp.Sfp.node_analysis array option;
+  metrics : Ftes_obs.Metrics.snapshot option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
-    bus = Bus.Fcfs; sfp_tables = None }
+    bus = Bus.Fcfs; sfp_tables = None; metrics = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
 let of_schedule ?(slack = Scheduler.Shared) ?(bus = Bus.Fcfs) ?sfp_tables
     problem design schedule =
   { problem; design = Some design; schedule = Some schedule; slack; bus;
-    sfp_tables }
+    sfp_tables; metrics = None }
 
 let with_sfp_tables t tables = { t with sfp_tables = Some tables }
+
+let with_metrics t snapshot = { t with metrics = Some snapshot }

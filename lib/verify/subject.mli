@@ -17,6 +17,9 @@ type t = {
       (** memoized per-member SFP tables the producer actually used
           (one per architecture slot), when it used a cache; the
           SFP-cache contract rule re-derives each from scratch. *)
+  metrics : Ftes_obs.Metrics.snapshot option;
+      (** metrics snapshot taken from the producing run, when the
+          caller wants its internal consistency certified. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -37,3 +40,6 @@ val of_schedule :
 
 val with_sfp_tables : t -> Ftes_sfp.Sfp.node_analysis array -> t
 (** Attach memoized SFP tables to an existing subject. *)
+
+val with_metrics : t -> Ftes_obs.Metrics.snapshot -> t
+(** Attach a metrics snapshot, enabling the [obs/*] rules. *)

@@ -1,4 +1,5 @@
-let registry = Structural_rules.all @ Schedule_rules.all @ Sfp_rules.all
+let registry =
+  Structural_rules.all @ Schedule_rules.all @ Sfp_rules.all @ Obs_rules.all
 
 let () =
   (* A duplicated id would make reports ambiguous; fail fast at link

@@ -193,7 +193,7 @@ let test_mapping_respects_initial () =
   let problem = fig1 () in
   let initial = [| 0; 0; 1; 1 |] in
   match
-    Mapping_opt.run ~config:{ Config.default with Config.max_iterations = 0 }
+    Mapping_opt.run ~config:(Config.with_max_iterations 0 Config.default)
       ~objective:Mapping_opt.Schedule_length ~initial problem ~members:[| 0; 1 |]
   with
   | None -> Alcotest.fail "fig4a mapping is feasible"
@@ -207,7 +207,7 @@ let test_tabu_no_worse_than_greedy () =
   let run config =
     Mapping_opt.run ~config ~objective:Mapping_opt.Schedule_length problem ~members
   in
-  let greedy = run { Config.default with Config.max_iterations = 0 } in
+  let greedy = run (Config.with_max_iterations 0 Config.default) in
   let tabu = run Config.default in
   match (greedy, tabu) with
   | Some g, Some t ->

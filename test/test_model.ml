@@ -389,6 +389,60 @@ let test_io_rejects_invalid () =
   let broken = replace_once ~affix:"\"cost\": 32" ~by:"\"cost\": 1" text in
   reject "non-monotone costs" broken
 
+(* --- schema versioning --- *)
+
+module Json = Ftes_util.Json
+
+let strip_version json =
+  match json with
+  | Json.Object fields ->
+      Json.Object (List.filter (fun (k, _) -> k <> "schema_version") fields)
+  | other -> other
+
+let with_version v json =
+  match strip_version json with
+  | Json.Object fields ->
+      Json.Object (("schema_version", Json.Number (float_of_int v)) :: fields)
+  | other -> other
+
+let test_io_writes_version () =
+  match Json.member "schema_version" (Problem_io.to_json (fig1 ())) with
+  | Ok (Json.Number v) ->
+      Alcotest.(check int) "written version" Problem_io.schema_version
+        (int_of_float v)
+  | _ -> Alcotest.fail "exported document has no schema_version"
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_io_versionless_warns () =
+  let doc = strip_version (Problem_io.to_json (fig1 ())) in
+  let warnings = ref [] in
+  match Problem_io.of_json ~on_warning:(fun w -> warnings := w :: !warnings) doc with
+  | Error e -> Alcotest.failf "versionless v0 document rejected: %s" e
+  | Ok p ->
+      Alcotest.(check int) "payload read" 4 (Problem.n_processes p);
+      Alcotest.(check int) "exactly one warning" 1 (List.length !warnings);
+      Alcotest.(check bool) "warning names schema_version" true
+        (List.exists (contains ~needle:"schema_version") !warnings)
+
+let test_io_v1_silent () =
+  let doc = Problem_io.to_json (fig1 ()) in
+  let warnings = ref [] in
+  match Problem_io.of_json ~on_warning:(fun w -> warnings := w :: !warnings) doc with
+  | Error e -> Alcotest.failf "v1 rejected: %s" e
+  | Ok _ -> Alcotest.(check int) "no warnings for v1" 0 (List.length !warnings)
+
+let test_io_rejects_future_version () =
+  let doc = with_version 99 (Problem_io.to_json (fig1 ())) in
+  match Problem_io.of_json ~on_warning:ignore doc with
+  | Ok _ -> Alcotest.fail "schema_version 99 should be rejected"
+  | Error e ->
+      Alcotest.(check bool) "diagnostic names the version" true
+        (contains ~needle:"99" e)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "ftes_model"
@@ -435,4 +489,11 @@ let () =
           Alcotest.test_case "save and load" `Quick test_io_save_load;
           Alcotest.test_case "missing file" `Quick test_io_missing_file;
           Alcotest.test_case "rejects invalid input" `Quick
-            test_io_rejects_invalid ] ) ]
+            test_io_rejects_invalid;
+          Alcotest.test_case "writes schema_version" `Quick
+            test_io_writes_version;
+          Alcotest.test_case "versionless v0 warns" `Quick
+            test_io_versionless_warns;
+          Alcotest.test_case "v1 reads silently" `Quick test_io_v1_silent;
+          Alcotest.test_case "future version rejected" `Quick
+            test_io_rejects_future_version ] ) ]

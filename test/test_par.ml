@@ -172,10 +172,10 @@ let prop_strategy_parallel_identical =
         (fun (_, slack) ->
           List.for_all
             (fun (_, bus) ->
-              let config = { Config.default with Config.slack; bus } in
+              let config = Config.(default |> with_slack slack |> with_bus bus) in
               let seq =
                 Design_strategy.run
-                  ~config:{ config with Config.memoize = false }
+                  ~config:(Config.with_memoize false config)
                   problem
               in
               let par =
@@ -194,7 +194,7 @@ let prop_memoization_invisible =
       let on = Design_strategy.run ~config:Config.default problem in
       let off =
         Design_strategy.run
-          ~config:{ Config.default with Config.memoize = false }
+          ~config:(Config.with_memoize false Config.default)
           problem
       in
       fingerprint on = fingerprint off)
@@ -204,11 +204,11 @@ let test_policy_sweep_shared_cache () =
   let cache = Redundancy_opt.create_cache () in
   List.iter
     (fun policy ->
-      let config = { Config.default with Config.hardening = policy } in
+      let config = Config.with_hardening policy Config.default in
       let shared = Design_strategy.run ~cache ~config problem in
       let fresh =
         Design_strategy.run
-          ~config:{ config with Config.memoize = false }
+          ~config:(Config.with_memoize false config)
           problem
       in
       Alcotest.(check bool)

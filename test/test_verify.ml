@@ -92,7 +92,7 @@ let test_json_reports_diagnostics () =
 
 let test_design_strategy_certificate () =
   let problem = Ftes_cc.Fig_examples.fig1_problem () in
-  let config = { Ftes_core.Config.default with Ftes_core.Config.certify = true } in
+  let config = Ftes_core.Config.with_certify true Ftes_core.Config.default in
   match Ftes_core.Design_strategy.run ~config problem with
   | None -> Alcotest.fail "fig1 should have a feasible design"
   | Some s -> (
