@@ -94,6 +94,12 @@ let c_eval_misses = Ftes_obs.Metrics.counter "evals.misses"
 
 let c_eval_fresh = Ftes_obs.Metrics.counter "evals.fresh"
 
+(* Inserts skipped because the table reached [max_evals]; the
+   obs/cache-capacity rule checks drops never exceed misses. *)
+let c_capacity_drops = Ftes_obs.Metrics.counter "evals.capacity_drops"
+
+let c_probe_shortcuts = Ftes_obs.Metrics.counter "kernel.probe_shortcuts"
+
 type eval_stats = { hits : int; misses : int; fresh : int }
 
 let eval_stats () =
@@ -157,7 +163,8 @@ let evaluate ?cache config problem design levels =
           in
           locked cache (fun () ->
               if Eval_tbl.length cache.evals < cache.max_evals then
-                Eval_tbl.replace cache.evals key result);
+                Eval_tbl.replace cache.evals key result
+              else Ftes_obs.Metrics.incr c_capacity_drops);
           result)
 
 let min_levels design = Array.map (fun _ -> 1) design.Design.members
@@ -169,8 +176,35 @@ let max_levels problem design =
    shortens the schedule the most, until schedulable or saturated.
    Returns the first schedulable result (if any) and the best schedule
    length seen anywhere along the way. *)
+(* The climb is a deterministic function of (members, mapping, config
+   minus hardening policy, problem), and an Optimize probe that came
+   back unschedulable recorded exactly this climb's [(None, best_len)]
+   outcome (reduction only runs on a schedulable result).  So a
+   memoized unschedulable probe proves the whole escalation futile, and
+   the incremental kernel returns the recorded outcome without
+   re-climbing.  The probe-table peek deliberately bypasses the
+   [evals.*] lookup counters: it is not one of the lookups whose
+   hits/misses they reconcile. *)
+let escalate_shortcut cache design =
+  if not (Ftes_util.Kernel.incremental ()) then None
+  else begin
+    let key =
+      { pr_policy = Config.Optimize;
+        pr_members = design.Design.members;
+        pr_mapping = design.Design.mapping }
+    in
+    match locked cache (fun () -> Probe_tbl.find_opt cache.probes key) with
+    | Some ((None, _) as outcome) ->
+        Ftes_obs.Metrics.incr c_probe_shortcuts;
+        Some outcome
+    | Some (Some _, _) | None -> None
+  end
+
 let escalate ?cache config problem design =
   Ftes_obs.Span.with_ ~name:"opt/escalate" @@ fun () ->
+  match Option.bind cache (fun c -> escalate_shortcut c design) with
+  | Some outcome -> outcome
+  | None ->
   let d = deadline problem in
   let rec climb levels best_len =
     let here = evaluate ?cache config problem design levels in
@@ -292,7 +326,8 @@ let probe ?cache ~config problem design =
           in
           locked cache (fun () ->
               if Probe_tbl.length cache.probes < cache.max_evals then
-                Probe_tbl.replace cache.probes key outcome);
+                Probe_tbl.replace cache.probes key outcome
+              else Ftes_obs.Metrics.incr c_capacity_drops);
           outcome)
 
 let best_effort_length ?cache ~config problem design =

@@ -38,7 +38,16 @@ type cache
 
 val create_cache : ?max_evals:int -> unit -> cache
 (** Fresh cache; at most [max_evals] (default 200_000) candidate
-    evaluations are retained. *)
+    evaluations are retained.  Each insert skipped at capacity bumps
+    the process-wide [evals.capacity_drops] counter (checked by the
+    [obs/cache-capacity] verifier rule), so a saturated cache is
+    observable instead of silently degrading into recomputation.
+
+    Under {!Ftes_util.Kernel.Incremental}, a memoized [Optimize] probe
+    that came back unschedulable also short-circuits later escalations
+    of the same (members, mapping) — the recorded [(None, best_len)]
+    outcome is returned without re-climbing (bit-identical: the climb
+    is deterministic), counted by [kernel.probe_shortcuts]. *)
 
 val sfp_cache : cache -> Ftes_par.Sfp_cache.t
 (** The SFP node-table layer of [cache], for hit-rate reporting and for

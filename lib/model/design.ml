@@ -74,6 +74,24 @@ let wcet problem t ~proc =
   let slot = t.mapping.(proc) in
   Problem.wcet problem ~node:t.members.(slot) ~level:t.levels.(slot) ~proc
 
+(* Bulk variant of [wcet] for the scheduler's per-call fill: the
+   h-version tables are resolved once per slot instead of once per
+   process, and each written float is the same array cell [wcet]
+   reads, so the fill is bit-identical to [n] scalar calls. *)
+let wcet_into problem t ~out =
+  let members = Array.length t.members in
+  let tables =
+    Array.init members (fun slot ->
+        (Platform.version
+           (Problem.node problem t.members.(slot))
+           ~level:t.levels.(slot))
+          .Platform.wcet_ms)
+  in
+  let mapping = t.mapping in
+  for p = 0 to Array.length mapping - 1 do
+    out.(p) <- tables.(mapping.(p)).(p)
+  done
+
 let pfail problem t ~proc =
   let slot = t.mapping.(proc) in
   Problem.pfail problem ~node:t.members.(slot) ~level:t.levels.(slot) ~proc

@@ -44,6 +44,12 @@ val wcet : Problem.t -> t -> proc:int -> float
 (** WCET of a process on the member it is mapped to, at that member's
     selected level. *)
 
+val wcet_into : Problem.t -> t -> out:float array -> unit
+(** [wcet_into problem t ~out] fills [out.(p)] with
+    [wcet problem t ~proc:p] for every process, resolving each
+    member's h-version table once.  [out] must hold at least as many
+    cells as there are processes. *)
+
 val pfail : Problem.t -> t -> proc:int -> float
 (** Failure probability of one execution of the process under the
     design. *)

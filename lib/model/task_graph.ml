@@ -5,7 +5,17 @@ type t = {
   edges : edge list;
   succs : edge list array; (* by src, insertion order *)
   preds : edge list array; (* by dst, insertion order *)
+  in_deg : int array;
   topo : int array;
+  (* Successor adjacency in compressed-sparse-row form, mirroring
+     [succs] element for element: the out-edges of [u] occupy indices
+     [succ_off.(u) .. succ_off.(u+1) - 1] of [succ_dst]/[succ_tx].
+     The flat arrays keep the hot graph walks (scheduler release,
+     WCET bottom levels) on contiguous memory instead of chasing
+     3-word list cells. *)
+  succ_off : int array;
+  succ_dst : int array;
+  succ_tx : float array;
 }
 
 let compute_topological_order n succs preds =
@@ -51,14 +61,38 @@ let make ~n edges =
   Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
   Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
   let topo = compute_topological_order n succs preds in
-  { n; edges; succs; preds; topo }
+  let succ_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    succ_off.(u + 1) <- succ_off.(u) + List.length succs.(u)
+  done;
+  let m = succ_off.(n) in
+  let succ_dst = Array.make m 0 in
+  let succ_tx = Array.make m 0.0 in
+  Array.iteri
+    (fun u l ->
+      let i = ref succ_off.(u) in
+      List.iter
+        (fun e ->
+          succ_dst.(!i) <- e.dst;
+          succ_tx.(!i) <- e.transmission_ms;
+          incr i)
+        l)
+    succs;
+  { n; edges; succs; preds; in_deg = Array.map List.length preds; topo;
+    succ_off; succ_dst; succ_tx }
 
 let n t = t.n
 let edges t = t.edges
 let n_edges t = List.length t.edges
 let succs t i = t.succs.(i)
+
+let succ_offsets t = t.succ_off
+let succ_dsts t = t.succ_dst
+let succ_txs t = t.succ_tx
 let preds t i = t.preds.(i)
-let in_degree t i = List.length t.preds.(i)
+let in_degree t i = t.in_deg.(i)
+
+let in_degrees_into t dst = Array.blit t.in_deg 0 dst 0 t.n
 let out_degree t i = List.length t.succs.(i)
 
 let sources t =
@@ -81,6 +115,36 @@ let bottom_levels t ~exec ~comm =
         0.0 t.succs.(u)
     in
     bl.(u) <- exec u +. tail
+  done;
+  bl
+
+(* Monomorphic bottom-level pass for the scheduler's incremental
+   kernel: [exec p] is [wcet.(p)] and [comm] zeroes same-member edges,
+   with no closure indirection per edge.  The running maximum replaces
+   [Float.max] with a [>] test, which agrees on every finite input (the
+   accumulator starts at [+0.] and transmission times are validated
+   finite and non-negative), so the result is bit-identical to
+   [bottom_levels]. *)
+(* Walks the CSR mirror of [succs] in the same element order, with the
+   running maximum in a local (unboxed) ref: [if v > best] against an
+   accumulator starting at [0.0] is [Float.max] on these inputs — all
+   finite, and a [-0.] candidate can never displace the non-negative
+   accumulator — so each [bl] entry is bit-identical to the
+   closure-based [bottom_levels] fold. *)
+let bottom_levels_wcet t ~wcet ~mapping =
+  let bl = Array.make t.n 0.0 in
+  let off = t.succ_off and dst = t.succ_dst and tx = t.succ_tx in
+  for idx = t.n - 1 downto 0 do
+    let u = t.topo.(idx) in
+    let mu = mapping.(u) in
+    let best = ref 0.0 in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let d = dst.(i) in
+      let c = if mapping.(d) = mu then 0.0 else tx.(i) in
+      let v = c +. bl.(d) in
+      if v > !best then best := v
+    done;
+    bl.(u) <- wcet.(u) +. !best
   done;
   bl
 

@@ -32,11 +32,30 @@ val n_edges : t -> int
 val succs : t -> int -> edge list
 (** Outgoing edges of a process. *)
 
+val succ_offsets : t -> int array
+(** Successor adjacency in compressed-sparse-row form, mirroring
+    {!succs} element for element: the out-edges of [u] are the indices
+    [succ_offsets t .(u) .. succ_offsets t .(u+1) - 1] into
+    {!succ_dsts} / {!succ_txs}.  The returned arrays are the graph's
+    own (built once at {!make} time) and must not be mutated. *)
+
+val succ_dsts : t -> int array
+(** Destination process of each CSR edge slot. *)
+
+val succ_txs : t -> float array
+(** Transmission time of each CSR edge slot. *)
+
 val preds : t -> int -> edge list
 (** Incoming edges of a process. *)
 
 val in_degree : t -> int -> int
+(** O(1): degrees are frozen at {!make} time. *)
+
 val out_degree : t -> int -> int
+
+val in_degrees_into : t -> int array -> unit
+(** Blit all in-degrees into the first [n] cells of the argument —
+    fills a scheduler scratch array without an [Array.init] per call. *)
 
 val sources : t -> int list
 (** Processes with no predecessors, ascending. *)
@@ -62,6 +81,13 @@ val bottom_levels :
 (** [bottom_levels t ~exec ~comm].(i) is the longest path length from
     the start of process [i] to the end of the graph — the classic list
     scheduling priority. *)
+
+val bottom_levels_wcet : t -> wcet:float array -> mapping:int array -> float array
+(** Specialized {!bottom_levels} with [exec p = wcet.(p)] and
+    [comm e = 0.] when [mapping] puts both endpoints on one member,
+    [e.transmission_ms] otherwise — the exact priority pass of the list
+    scheduler, without per-edge closure calls.  Bit-identical to the
+    generic pass on finite inputs. *)
 
 val components : t -> int list list
 (** Weakly-connected components (the [G_k] of the application set). *)

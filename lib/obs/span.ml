@@ -56,35 +56,47 @@ type aggregate = {
   a_hist : Metrics.histogram;
 }
 
-let aggregates : (string, aggregate) Hashtbl.t = Hashtbl.create 32
+(* Copy-on-write association so the hot path (every span finish in
+   aggregate mode) is a lock-free scan of a short immutable list; the
+   mutex only serializes first-use registration.  [Metrics.reset] zeros
+   instruments in place, so cached handles never go stale. *)
+let aggregates : (string * aggregate) list Atomic.t = Atomic.make []
 
 let aggregates_mutex = Mutex.create ()
 
 let span_prefix = "span."
 
+let rec assoc_find name = function
+  | [] -> None
+  | (n, a) :: tl -> if String.equal n name then Some a else assoc_find name tl
+
 let aggregate_for name =
-  Mutex.lock aggregates_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock aggregates_mutex)
-    (fun () ->
-      match Hashtbl.find_opt aggregates name with
-      | Some a -> a
-      | None ->
-          let a =
-            { a_count = Metrics.counter (span_prefix ^ name ^ ".count");
-              a_ns = Metrics.counter (span_prefix ^ name ^ ".ns");
-              a_alloc = Metrics.counter (span_prefix ^ name ^ ".alloc_b");
-              a_hist = Metrics.histogram (span_prefix ^ name ^ ".ns.hist") }
-          in
-          Hashtbl.replace aggregates name a;
-          a)
+  match assoc_find name (Atomic.get aggregates) with
+  | Some a -> a
+  | None ->
+      Mutex.lock aggregates_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock aggregates_mutex)
+        (fun () ->
+          match assoc_find name (Atomic.get aggregates) with
+          | Some a -> a
+          | None ->
+              let a =
+                { a_count = Metrics.counter (span_prefix ^ name ^ ".count");
+                  a_ns = Metrics.counter (span_prefix ^ name ^ ".ns");
+                  a_alloc = Metrics.counter (span_prefix ^ name ^ ".alloc_b");
+                  a_hist = Metrics.histogram (span_prefix ^ name ^ ".ns.hist") }
+              in
+              Atomic.set aggregates ((name, a) :: Atomic.get aggregates);
+              a)
 
 let finish config frame =
   let stack = Domain.DLS.get stacks in
   (match !stack with
   | top :: rest when top == frame -> stack := rest
   | _ ->
-      (* Unbalanced pops cannot happen: with_ pops in Fun.protect. *)
+      (* Unbalanced pops cannot happen: with_ finishes the frame on
+         both its return and its exception paths. *)
       assert false);
   let dur_ns = max 0 (Clock.now_ns () - frame.start_ns) in
   let alloc_b = Float.max 0.0 (Gc.allocated_bytes () -. frame.alloc0) in
@@ -123,5 +135,15 @@ let with_ ~name f =
         alloc0 = Gc.allocated_bytes () }
     in
     stack := frame :: !stack;
-    Fun.protect ~finally:(fun () -> finish config frame) f
+    (* Hand-rolled [Fun.protect]: the enabled path runs on every
+       instrumented kernel call, and the match form spares the two
+       closure allocations of [~finally]. *)
+    match f () with
+    | v ->
+        finish config frame;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish config frame;
+        Printexc.raise_with_backtrace e bt
   end

@@ -18,8 +18,15 @@ module Key_tbl = Hashtbl.Make (struct
     Array.fold_left (fun h x -> (h * 0x01000193) lxor (x + 1)) h k.procs
 end)
 
+module Incremental = Ftes_sfp.Incremental
+
+type entry = {
+  analysis : Sfp.node_analysis;
+  vectors : Incremental.node_vectors;
+}
+
 type t = {
-  table : Sfp.node_analysis Key_tbl.t;
+  table : entry Key_tbl.t;
   mutex : Mutex.t;
   max_entries : int;
   hits : int Atomic.t;
@@ -36,6 +43,8 @@ let c_hits = Ftes_obs.Metrics.counter "sfp_cache.hits"
 
 let c_misses = Ftes_obs.Metrics.counter "sfp_cache.misses"
 
+let c_capacity_drops = Ftes_obs.Metrics.counter "sfp_cache.capacity_drops"
+
 let create ?(max_entries = 1 lsl 18) () =
   if max_entries < 1 then invalid_arg "Sfp_cache.create: empty capacity";
   { table = Key_tbl.create 1024;
@@ -48,19 +57,62 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let node_analysis t problem design ~member ~kmax =
+(* Ascending processes on [member], built without the intermediate
+   list [Design.procs_on] returns — key construction runs on every
+   kernel evaluation.  Neighbor designs explored by one
+   escalation/reduction sweep share the mapping array physically
+   ([Design.with_levels] keeps it, and every design constructor copies
+   its input array), so a mapping array's contents are frozen for its
+   lifetime and its identity keys a one-slot per-domain cache of the
+   full member partition, computed once per sweep instead of twice per
+   lookup. *)
+type partition = {
+  mutable p_mapping : int array;
+  mutable p_procs : int array array;
+}
+
+let partition_key =
+  Domain.DLS.new_key (fun () -> { p_mapping = [||]; p_procs = [||] })
+
+let procs_of design ~member =
+  let mapping = design.Design.mapping in
+  let cache = Domain.DLS.get partition_key in
+  if cache.p_mapping != mapping || Array.length cache.p_procs <= member
+  then begin
+    (* The length guard also covers empty mappings: all zero-length
+       int arrays share one atom, so identity alone could not tell two
+       empty-process designs apart. *)
+    let members = Array.length design.Design.members in
+    let n = Array.length mapping in
+    let fill = Array.make members 0 in
+    for p = 0 to n - 1 do
+      fill.(mapping.(p)) <- fill.(mapping.(p)) + 1
+    done;
+    let procs = Array.init members (fun m -> Array.make fill.(m) 0) in
+    Array.fill fill 0 members 0;
+    for p = 0 to n - 1 do
+      let m = mapping.(p) in
+      procs.(m).(fill.(m)) <- p;
+      fill.(m) <- fill.(m) + 1
+    done;
+    cache.p_mapping <- mapping;
+    cache.p_procs <- procs
+  end;
+  cache.p_procs.(member)
+
+let node_entry t problem design ~member ~kmax =
   let key =
     { node = design.Design.members.(member);
       level = design.Design.levels.(member);
       kmax;
-      procs = Array.of_list (Design.procs_on design ~member) }
+      procs = procs_of design ~member }
   in
   Ftes_obs.Metrics.incr c_lookups;
   match locked t (fun () -> Key_tbl.find_opt t.table key) with
-  | Some analysis ->
+  | Some entry ->
       Atomic.incr t.hits;
       Ftes_obs.Metrics.incr c_hits;
-      analysis
+      entry
   | None ->
       Atomic.incr t.misses;
       Ftes_obs.Metrics.incr c_misses;
@@ -69,10 +121,18 @@ let node_analysis t problem design ~member ~kmax =
       let analysis =
         Sfp.node_analysis ~kmax (Design.pfail_vector problem design ~member)
       in
+      let entry = { analysis; vectors = Incremental.node_vectors analysis } in
       locked t (fun () ->
           if Key_tbl.length t.table < t.max_entries then
-            Key_tbl.replace t.table key analysis);
-      analysis
+            Key_tbl.replace t.table key entry
+          else Ftes_obs.Metrics.incr c_capacity_drops);
+      entry
+
+let node_analysis t problem design ~member ~kmax =
+  (node_entry t problem design ~member ~kmax).analysis
+
+let node_vectors t problem design ~member ~kmax =
+  (node_entry t problem design ~member ~kmax).vectors
 
 let hits t = Atomic.get t.hits
 
@@ -82,7 +142,9 @@ let length t = locked t (fun () -> Key_tbl.length t.table)
 
 let entries t =
   locked t (fun () ->
-      Key_tbl.fold (fun key analysis acc -> (key, analysis) :: acc) t.table [])
+      Key_tbl.fold
+        (fun key entry acc -> (key, entry.analysis) :: acc)
+        t.table [])
 
 type totals = { total_hits : int; total_misses : int }
 
@@ -93,7 +155,8 @@ let totals () =
 let reset_totals () =
   Ftes_obs.Metrics.reset_counter c_lookups;
   Ftes_obs.Metrics.reset_counter c_hits;
-  Ftes_obs.Metrics.reset_counter c_misses
+  Ftes_obs.Metrics.reset_counter c_misses;
+  Ftes_obs.Metrics.reset_counter c_capacity_drops
 
 let hit_rate { total_hits; total_misses } =
   let lookups = total_hits + total_misses in

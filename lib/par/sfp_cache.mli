@@ -33,7 +33,9 @@ type t
 val create : ?max_entries:int -> unit -> t
 (** Fresh empty cache.  Once [max_entries] (default [1 lsl 18]) keys
     are stored, further misses compute without inserting, bounding the
-    footprint of exhaustive enumerations. *)
+    footprint of exhaustive enumerations.  Each skipped insert bumps
+    the process-wide [sfp_cache.capacity_drops] counter so saturation
+    is observable (see the [obs/cache-capacity] verifier rule). *)
 
 val node_analysis :
   t ->
@@ -46,6 +48,18 @@ val node_analysis :
     [Sfp.node_analysis ~kmax] of the member's failure-probability
     vector, served from the cache when the [(node, h-version, procs,
     kmax)] key has been seen before. *)
+
+val node_vectors :
+  t ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  member:int ->
+  kmax:int ->
+  Ftes_sfp.Incremental.node_vectors
+(** Like {!node_analysis}, serving the memoized
+    {!Ftes_sfp.Incremental.node_vectors} derived from the same table —
+    the incremental re-execution kernel's one-lookup read.  Both views
+    share one cache entry, so a hit on either serves the other. *)
 
 val hits : t -> int
 

@@ -25,6 +25,11 @@ val create : policy -> members:int -> t
 
 val policy : t -> policy
 
+val transmit_finish : t -> member:int -> ready:float -> duration:float -> float
+(** Like {!transmit} but returns only the finish instant, without
+    building the pair — the allocation-lean form the length-only
+    scheduler kernel uses.  Books the bus exactly like {!transmit}. *)
+
 val transmit : t -> member:int -> ready:float -> duration:float -> float * float
 (** [transmit bus ~member ~ready ~duration] books the earliest
     transmission of a [duration]-long message that node [member] can

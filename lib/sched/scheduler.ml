@@ -15,6 +15,10 @@ let c_priority_passes = Ftes_obs.Metrics.counter "sched.priority_passes"
 
 let c_slack_recomputations = Ftes_obs.Metrics.counter "sched.slack_recomputations"
 
+let c_prio_hits = Ftes_obs.Metrics.counter "kernel.prio_hits"
+
+let c_prio_misses = Ftes_obs.Metrics.counter "kernel.prio_misses"
+
 let priorities problem design =
   Ftes_obs.Metrics.incr c_priority_passes;
   let graph = Problem.graph problem in
@@ -25,10 +29,104 @@ let priorities problem design =
   in
   Task_graph.bottom_levels graph ~exec ~comm
 
-let schedule_impl ~slack ~bus problem design =
+(* --- Priorities memo (incremental kernel only) ---
+
+   The bottom-level pass is a function of the graph (owned by the
+   problem), the WCET vector and the mapping (which decides edge
+   zeroing).  The escalation and tabu loops re-schedule designs that
+   differ in one hardening level — often leaving the WCET vector of
+   every mapped process unchanged — so a small per-domain ring of
+   recently computed priority vectors removes most passes.  A hit
+   serves the stored vector (the scheduler only reads it); a memoized
+   vector is bit-identical to a fresh pass because [exec]/[comm]
+   evaluate to the same floats, so memoization only affects speed. *)
+
+type prio_entry = {
+  hash : int;
+  problem : Problem.t;
+  mapping : int array;
+  wcet : float array;
+  prio : float array;
+}
+
+let prio_ring_capacity = 32
+
+type prio_ring = { slots : prio_entry option array; mutable next : int }
+
+let prio_ring_key =
+  Domain.DLS.new_key (fun () ->
+      { slots = Array.make prio_ring_capacity None; next = 0 })
+
+let prio_hash mapping wcet n =
+  let h = ref 0x811c9dc5 in
+  let mix x = h := (!h lxor x) * 0x01000193 in
+  for p = 0 to n - 1 do
+    mix mapping.(p);
+    mix (Int64.to_int (Int64.bits_of_float wcet.(p)))
+  done;
+  !h
+
+let array_prefix_eq_int (a : int array) (b : int array) n =
+  Array.length b = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if a.(i) <> b.(i) then ok := false
+  done;
+  !ok
+
+let array_prefix_eq_float (a : float array) (b : float array) n =
+  Array.length b = n
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    (* Bit compare: the key must distinguish -0. from 0. like a fresh
+       pass would not, but must never unify distinct NaN payloads with
+       anything. *)
+    if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then ok := false
+  done;
+  !ok
+
+let priorities_memo problem design ~wcet =
   let graph = Problem.graph problem in
   let n = Task_graph.n graph in
-  (match slack with
+  let mapping = design.Design.mapping in
+  let hash = prio_hash mapping wcet n in
+  let ring = Domain.DLS.get prio_ring_key in
+  let found = ref None in
+  let i = ref 0 in
+  (* [==] against the immediate [None]: a structural [=] here would be
+     a generic-compare call per probed slot. *)
+  while !found == None && !i < prio_ring_capacity do
+    (match ring.slots.(!i) with
+    | Some e
+      when e.hash = hash && e.problem == problem
+           && array_prefix_eq_int mapping e.mapping n
+           && array_prefix_eq_float wcet e.wcet n ->
+        found := Some e.prio
+    | _ -> ());
+    incr i
+  done;
+  match !found with
+  | Some prio ->
+      Ftes_obs.Metrics.incr c_prio_hits;
+      prio
+  | None ->
+      Ftes_obs.Metrics.incr c_prio_misses;
+      Ftes_obs.Metrics.incr c_priority_passes;
+      let prio = Task_graph.bottom_levels_wcet graph ~wcet ~mapping in
+      ring.slots.(ring.next) <-
+        Some
+          { hash;
+            problem;
+            mapping = Array.copy mapping;
+            wcet = Array.sub wcet 0 n;
+            prio };
+      ring.next <- (ring.next + 1) mod prio_ring_capacity;
+      prio
+
+let validate_slack ~slack n =
+  match slack with
   | Per_process budgets ->
       if Array.length budgets <> n then
         invalid_arg "Scheduler.schedule: per-process budget length mismatch";
@@ -47,7 +145,12 @@ let schedule_impl ~slack ~bus problem design =
         kappa;
       if save_ms < 0.0 || not (Float.is_finite save_ms) then
         invalid_arg "Scheduler.schedule: invalid checkpoint overhead"
-  | Shared | Conservative | Dedicated -> ());
+  | Shared | Conservative | Dedicated -> ()
+
+let schedule_impl ~slack ~bus problem design =
+  let graph = Problem.graph problem in
+  let n = Task_graph.n graph in
+  validate_slack ~slack n;
   let members = Design.n_members design in
   let mu = problem.Problem.app.Ftes_model.Application.recovery_overhead_ms in
   let prio = priorities problem design in
@@ -175,13 +278,385 @@ let schedule_impl ~slack ~bus problem design =
   { Schedule.entries; messages = List.rev !messages; node_finish; node_worst;
     length }
 
+(* --- Incremental kernel ---
+
+   Same placement algorithm and float operations as [schedule_impl];
+   only the machinery around them changes:
+
+   - the ready set lives in a binary heap ordered (priority desc, index
+     asc) — exactly the (max priority, lowest index) argmax the
+     reference [pick] scan computes, so identical pop sequences;
+   - WCETs are fetched once into a scratch vector (the same
+     [Design.wcet] calls the reference makes per placement);
+   - priority vectors come from the per-domain memo ring;
+   - short-lived working arrays come from the domain's scratch arena.
+     Arrays escaping into the returned {!Schedule.t} (entries,
+     node_finish, node_worst) stay freshly allocated. *)
+
+let dummy_entry =
+  { Schedule.proc = -1; slot = -1; start = 0.0; finish = 0.0; commit = 0.0 }
+
+let schedule_fast ~slack ~bus problem design =
+  Scratch.with_arena @@ fun arena ->
+  let graph = Problem.graph problem in
+  let n = Task_graph.n graph in
+  validate_slack ~slack n;
+  let members = Design.n_members design in
+  let mu = problem.Problem.app.Ftes_model.Application.recovery_overhead_ms in
+  let mapping = design.Design.mapping in
+  let k slot = design.Design.reexecs.(slot) in
+  let wcet = Scratch.floats arena ~slot:0 ~n in
+  Design.wcet_into problem design ~out:wcet;
+  let prio = priorities_memo problem design ~wcet in
+  let node_avail = Scratch.floats arena ~slot:1 ~n:members in
+  let max_exec = Scratch.floats arena ~slot:2 ~n:members in
+  let max_recovery = Scratch.floats arena ~slot:3 ~n:members in
+  let last_commit = Scratch.floats arena ~slot:4 ~n:members in
+  let arrival = Scratch.floats arena ~slot:5 ~n in
+  Array.fill node_avail 0 members 0.0;
+  Array.fill max_exec 0 members 0.0;
+  Array.fill max_recovery 0 members 0.0;
+  Array.fill last_commit 0 members 0.0;
+  Array.fill arrival 0 n 0.0;
+  let node_finish = Array.make members 0.0 in
+  let bus_state = Bus.create bus ~members in
+  let entries = Array.make n dummy_entry in
+  let messages = ref [] in
+  let remaining_preds = Scratch.ints arena ~slot:0 ~n in
+  Task_graph.in_degrees_into graph remaining_preds;
+  let heap = Scratch.ints arena ~slot:1 ~n in
+  let heap_len = ref 0 in
+  (* Pop order: highest priority first, ties to the lower index — the
+     same argmax the reference scan computes.  The comparator is
+     written out at each use so the sift loops run without closure
+     calls on their hottest comparisons. *)
+  let push p =
+    heap.(!heap_len) <- p;
+    let i = ref !heap_len in
+    incr heap_len;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      let a = heap.(!i) and b = heap.(parent) in
+      if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then begin
+        heap.(parent) <- a;
+        heap.(!i) <- b;
+        i := parent
+      end
+      else continue := false
+    done
+  in
+  let pop () =
+    let top = heap.(0) in
+    decr heap_len;
+    heap.(0) <- heap.(!heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      let r = l + 1 in
+      let best = ref !i in
+      if l < !heap_len then begin
+        let a = heap.(l) and b = heap.(!best) in
+        if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then
+          best := l
+      end;
+      if r < !heap_len then begin
+        let a = heap.(r) and b = heap.(!best) in
+        if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then
+          best := r
+      end;
+      if !best = !i then continue := false
+      else begin
+        let tmp = heap.(!best) in
+        heap.(!best) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !best
+      end
+    done;
+    top
+  in
+  for p = 0 to n - 1 do
+    if remaining_preds.(p) = 0 then push p
+  done;
+  let place p =
+    let slot = mapping.(p) in
+    let raw_t = wcet.(p) in
+    let t, recovery =
+      match slack with
+      | Checkpointed { kappa; save_ms } ->
+          let segments = float_of_int kappa.(p) in
+          ( raw_t +. ((segments -. 1.0) *. save_ms),
+            raw_t /. segments )
+      | Shared | Conservative | Dedicated | Per_process _ -> (raw_t, raw_t)
+    in
+    let start = Float.max node_avail.(slot) arrival.(p) in
+    let finish = start +. t in
+    if t > max_exec.(slot) then max_exec.(slot) <- t;
+    if recovery > max_recovery.(slot) then max_recovery.(slot) <- recovery;
+    let commit =
+      match slack with
+      | Shared -> finish
+      | Conservative ->
+          finish +. (float_of_int (k slot) *. (max_exec.(slot) +. mu))
+      | Dedicated -> finish +. (float_of_int (k slot) *. (t +. mu))
+      | Per_process budgets ->
+          finish +. (float_of_int budgets.(p) *. (t +. mu))
+      | Checkpointed _ -> finish
+    in
+    entries.(p) <- { Schedule.proc = p; slot; start; finish; commit };
+    node_finish.(slot) <- finish;
+    last_commit.(slot) <- Float.max last_commit.(slot) commit;
+    (node_avail.(slot) <-
+       (match slack with
+       | Shared | Conservative | Checkpointed _ -> finish
+       | Dedicated | Per_process _ -> commit));
+    List.iter
+      (fun (e : Task_graph.edge) ->
+        let d = e.dst in
+        let arrive =
+          if mapping.(d) = slot then finish
+          else begin
+            let bus_start, bus_finish =
+              Bus.transmit bus_state ~member:slot ~ready:commit
+                ~duration:e.transmission_ms
+            in
+            messages := { Schedule.edge = e; bus_start; bus_finish } :: !messages;
+            bus_finish
+          end
+        in
+        if arrive > arrival.(d) then arrival.(d) <- arrive;
+        remaining_preds.(d) <- remaining_preds.(d) - 1;
+        if remaining_preds.(d) = 0 then push d)
+      (Task_graph.succs graph p)
+  in
+  for _ = 1 to n do
+    place (pop ())
+  done;
+  Ftes_obs.Metrics.incr c_slack_recomputations;
+  let node_worst =
+    Array.init members (fun slot ->
+        match slack with
+        | Shared | Conservative ->
+            if max_exec.(slot) = 0.0 then node_finish.(slot)
+            else
+              node_finish.(slot)
+              +. (float_of_int (k slot) *. (max_exec.(slot) +. mu))
+        | Checkpointed _ ->
+            if max_recovery.(slot) = 0.0 then node_finish.(slot)
+            else
+              node_finish.(slot)
+              +. (float_of_int (k slot) *. (max_recovery.(slot) +. mu))
+        | Dedicated | Per_process _ -> last_commit.(slot))
+  in
+  let length = Array.fold_left Float.max 0.0 node_worst in
+  { Schedule.entries; messages = List.rev !messages; node_finish; node_worst;
+    length }
+
+(* Length-only variant of [schedule_fast] for the optimizer's inner
+   loop, which discards everything but [Schedule.length].  Same
+   placement order and float operations (the placement floats do not
+   depend on the entry/message records, and the final fold over
+   [node_worst] runs in the same slot order starting from [0.0]), but
+   no entry or message records are built and every array comes from the
+   arena, so a call allocates almost nothing. *)
+let schedule_length_fast ~slack ~bus problem design =
+  Scratch.with_arena @@ fun arena ->
+  let graph = Problem.graph problem in
+  let n = Task_graph.n graph in
+  validate_slack ~slack n;
+  let members = Design.n_members design in
+  let mu = problem.Problem.app.Ftes_model.Application.recovery_overhead_ms in
+  let mapping = design.Design.mapping in
+  let k slot = design.Design.reexecs.(slot) in
+  let wcet = Scratch.floats arena ~slot:0 ~n in
+  Design.wcet_into problem design ~out:wcet;
+  let prio = priorities_memo problem design ~wcet in
+  let node_avail = Scratch.floats arena ~slot:1 ~n:members in
+  let max_exec = Scratch.floats arena ~slot:2 ~n:members in
+  let max_recovery = Scratch.floats arena ~slot:3 ~n:members in
+  let last_commit = Scratch.floats arena ~slot:4 ~n:members in
+  let arrival = Scratch.floats arena ~slot:5 ~n in
+  let node_finish = Scratch.floats arena ~slot:6 ~n:members in
+  Array.fill node_avail 0 members 0.0;
+  Array.fill max_exec 0 members 0.0;
+  Array.fill max_recovery 0 members 0.0;
+  Array.fill last_commit 0 members 0.0;
+  Array.fill arrival 0 n 0.0;
+  Array.fill node_finish 0 members 0.0;
+  let bus_state = Bus.create bus ~members in
+  let remaining_preds = Scratch.ints arena ~slot:0 ~n in
+  Task_graph.in_degrees_into graph remaining_preds;
+  let heap = Scratch.ints arena ~slot:1 ~n in
+  let heap_len = ref 0 in
+  (* Pop order: highest priority first, ties to the lower index — the
+     same argmax the reference scan computes.  The comparator is
+     written out at each use so the sift loops run without closure
+     calls on their hottest comparisons. *)
+  let push p =
+    heap.(!heap_len) <- p;
+    let i = ref !heap_len in
+    incr heap_len;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      let a = heap.(!i) and b = heap.(parent) in
+      if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then begin
+        heap.(parent) <- a;
+        heap.(!i) <- b;
+        i := parent
+      end
+      else continue := false
+    done
+  in
+  let pop () =
+    let top = heap.(0) in
+    decr heap_len;
+    heap.(0) <- heap.(!heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      let r = l + 1 in
+      let best = ref !i in
+      if l < !heap_len then begin
+        let a = heap.(l) and b = heap.(!best) in
+        if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then
+          best := l
+      end;
+      if r < !heap_len then begin
+        let a = heap.(r) and b = heap.(!best) in
+        if prio.(a) > prio.(b) || (prio.(a) = prio.(b) && a < b) then
+          best := r
+      end;
+      if !best = !i then continue := false
+      else begin
+        let tmp = heap.(!best) in
+        heap.(!best) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !best
+      end
+    done;
+    top
+  in
+  for p = 0 to n - 1 do
+    if remaining_preds.(p) = 0 then push p
+  done;
+  (* The successor-release walk runs over the graph's CSR adjacency —
+     same edges in the same order as the reference's [List.iter] over
+     [succs], on contiguous arrays.  An FCFS bus is one float of state
+     (its next free instant); it lives in an arena cell so the booking
+     runs inline without boxing — same [max]/[+.] sequence as
+     [Bus.transmit], whose validation is unreachable here (commit
+     times are finite and non-negative by construction, transmission
+     times are validated at graph build).  TDMA keeps the shared slot
+     walk in [Bus]. *)
+  let succ_off = Task_graph.succ_offsets graph in
+  let succ_dst = Task_graph.succ_dsts graph in
+  let succ_tx = Task_graph.succ_txs graph in
+  let bus_free = Scratch.floats arena ~slot:7 ~n:1 in
+  bus_free.(0) <- 0.0;
+  let place p =
+    let slot = mapping.(p) in
+    let raw_t = wcet.(p) in
+    (* Split the reference's (t, recovery) pair to avoid the tuple; the
+       recomputed [segments] is the same float, so both components stay
+       bit-identical. *)
+    let t =
+      match slack with
+      | Checkpointed { kappa; save_ms } ->
+          raw_t +. ((float_of_int kappa.(p) -. 1.0) *. save_ms)
+      | Shared | Conservative | Dedicated | Per_process _ -> raw_t
+    in
+    let recovery =
+      match slack with
+      | Checkpointed { kappa; _ } -> raw_t /. float_of_int kappa.(p)
+      | Shared | Conservative | Dedicated | Per_process _ -> raw_t
+    in
+    let start = Float.max node_avail.(slot) arrival.(p) in
+    let finish = start +. t in
+    if t > max_exec.(slot) then max_exec.(slot) <- t;
+    if recovery > max_recovery.(slot) then max_recovery.(slot) <- recovery;
+    let commit =
+      match slack with
+      | Shared -> finish
+      | Conservative ->
+          finish +. (float_of_int (k slot) *. (max_exec.(slot) +. mu))
+      | Dedicated -> finish +. (float_of_int (k slot) *. (t +. mu))
+      | Per_process budgets ->
+          finish +. (float_of_int budgets.(p) *. (t +. mu))
+      | Checkpointed _ -> finish
+    in
+    node_finish.(slot) <- finish;
+    last_commit.(slot) <- Float.max last_commit.(slot) commit;
+    (node_avail.(slot) <-
+       (match slack with
+       | Shared | Conservative | Checkpointed _ -> finish
+       | Dedicated | Per_process _ -> commit));
+    for ei = succ_off.(p) to succ_off.(p + 1) - 1 do
+      let d = succ_dst.(ei) in
+      let arrive =
+        if mapping.(d) = slot then finish
+        else begin
+          match bus with
+          | Bus.Fcfs ->
+              let bus_start = Float.max bus_free.(0) commit in
+              let bus_finish = bus_start +. succ_tx.(ei) in
+              bus_free.(0) <- bus_finish;
+              bus_finish
+          | Bus.Tdma _ ->
+              Bus.transmit_finish bus_state ~member:slot ~ready:commit
+                ~duration:succ_tx.(ei)
+        end
+      in
+      if arrive > arrival.(d) then arrival.(d) <- arrive;
+      remaining_preds.(d) <- remaining_preds.(d) - 1;
+      if remaining_preds.(d) = 0 then push d
+    done
+  in
+  for _ = 1 to n do
+    place (pop ())
+  done;
+  Ftes_obs.Metrics.incr c_slack_recomputations;
+  let length = ref 0.0 in
+  for slot = 0 to members - 1 do
+    let worst =
+      match slack with
+      | Shared | Conservative ->
+          if max_exec.(slot) = 0.0 then node_finish.(slot)
+          else
+            node_finish.(slot)
+            +. (float_of_int (k slot) *. (max_exec.(slot) +. mu))
+      | Checkpointed _ ->
+          if max_recovery.(slot) = 0.0 then node_finish.(slot)
+          else
+            node_finish.(slot)
+            +. (float_of_int (k slot) *. (max_recovery.(slot) +. mu))
+      | Dedicated | Per_process _ -> last_commit.(slot)
+    in
+    length := Float.max !length worst
+  done;
+  !length
+
 let schedule ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
+  Ftes_obs.Metrics.incr c_schedules;
+  Ftes_obs.Span.with_ ~name:"sched/schedule" (fun () ->
+      if Ftes_util.Kernel.incremental () then
+        schedule_fast ~slack ~bus problem design
+      else schedule_impl ~slack ~bus problem design)
+
+let schedule_reference ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
   Ftes_obs.Metrics.incr c_schedules;
   Ftes_obs.Span.with_ ~name:"sched/schedule" (fun () ->
       schedule_impl ~slack ~bus problem design)
 
-let schedule_length ?slack ?bus problem design =
-  Schedule.length (schedule ?slack ?bus problem design)
+let schedule_length ?(slack = Shared) ?(bus = Bus.Fcfs) problem design =
+  if Ftes_util.Kernel.incremental () then begin
+    Ftes_obs.Metrics.incr c_schedules;
+    Ftes_obs.Span.with_ ~name:"sched/schedule" (fun () ->
+        schedule_length_fast ~slack ~bus problem design)
+  end
+  else Schedule.length (schedule ~slack ~bus problem design)
 
 let is_schedulable ?slack ?bus problem design =
   let sl = schedule_length ?slack ?bus problem design in

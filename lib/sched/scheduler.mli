@@ -57,7 +57,24 @@ val schedule :
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
   Schedule.t
-(** Build the root schedule (defaults: [Shared] slack, [Fcfs] bus). *)
+(** Build the root schedule (defaults: [Shared] slack, [Fcfs] bus).
+
+    Under {!Ftes_util.Kernel.Incremental} (the default) the ready set
+    lives in a binary heap ordered (priority desc, index asc) — the
+    exact argmax of the reference rescan — priority vectors are served
+    from a per-domain memo ring, and short-lived working arrays come
+    from the domain's {!Scratch} arena.  The resulting schedule is
+    bit-identical to {!schedule_reference} for every slack and bus
+    policy. *)
+
+val schedule_reference :
+  ?slack:slack_mode ->
+  ?bus:Bus.policy ->
+  Ftes_model.Problem.t ->
+  Ftes_model.Design.t ->
+  Schedule.t
+(** The original O(n) rescan implementation, retained as the
+    equivalence and benchmark baseline for {!schedule}. *)
 
 val schedule_length :
   ?slack:slack_mode ->

@@ -21,7 +21,7 @@ let pr_exceeds_upper p ~k =
     Rounding.clamp01
       (Rounding.up ((s ** float_of_int (k + 1)) /. (1.0 -. s)))
 
-let required_k p ~budget ~kmax =
+let required_k_scan p ~budget ~kmax =
   if kmax < 0 then invalid_arg "Bound.required_k: negative kmax";
   let rec search k =
     if k > kmax then None
@@ -29,6 +29,22 @@ let required_k p ~budget ~kmax =
     else search (k + 1)
   in
   search 0
+
+(* [pr_exceeds_upper] is non-increasing in [k] (S^(k+1) shrinks for
+   S < 1 and both degenerate branches are constant), so the predicate
+   "bound <= budget" is monotone and the smallest satisfying [k] can be
+   bisected instead of scanned. *)
+let required_k p ~budget ~kmax =
+  if kmax < 0 then invalid_arg "Bound.required_k: negative kmax";
+  if pr_exceeds_upper p ~k:kmax > budget then None
+  else begin
+    let lo = ref 0 and hi = ref kmax in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if pr_exceeds_upper p ~k:mid <= budget then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
 
 (* Soundness is a statement about the underlying probabilities, so it is
    checked against the unrounded exact value: the grain-rounded analysis

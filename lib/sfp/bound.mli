@@ -23,7 +23,12 @@ val pr_exceeds_upper : float array -> k:int -> float
 
 val required_k : float array -> budget:float -> kmax:int -> int option
 (** [required_k p ~budget ~kmax] is the smallest [k <= kmax] whose
-    {!pr_exceeds_upper} does not exceed [budget], if any. *)
+    {!pr_exceeds_upper} does not exceed [budget], if any.  Found by
+    binary search — the bound is monotone in [k]. *)
+
+val required_k_scan : float array -> budget:float -> kmax:int -> int option
+(** Retained linear-scan reference of {!required_k}; the test-suite
+    asserts agreement between the two on random probability vectors. *)
 
 val is_sound : float array -> k:int -> bool
 (** [is_sound p ~k] checks the defining inequality against the exact

@@ -1,0 +1,14 @@
+type mode = Incremental | Reference
+
+let mode = Atomic.make Incremental
+
+let set m = Atomic.set mode m
+
+let current () = Atomic.get mode
+
+let incremental () = Atomic.get mode = Incremental
+
+let with_mode m f =
+  let previous = Atomic.get mode in
+  Atomic.set mode m;
+  Fun.protect ~finally:(fun () -> Atomic.set mode previous) f

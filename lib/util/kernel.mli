@@ -1,0 +1,25 @@
+(** Process-wide selector between the incremental hot-path kernels and
+    the retained reference implementations.
+
+    The greedy re-execution ascent, the list scheduler and the
+    hardening walk each keep their original implementation alongside
+    the incremental rewrite.  Both produce bit-identical results; the
+    reference exists so the equivalence suite can compare them and so
+    `bench_kernels` can measure the speedup on the same binary.
+
+    The switch is read at kernel entry through one atomic load, so
+    flipping it mid-run affects subsequent kernel invocations only —
+    never a computation in flight. *)
+
+type mode = Incremental | Reference
+
+val set : mode -> unit
+
+val current : unit -> mode
+
+val incremental : unit -> bool
+(** [current () = Incremental] — the hot-path check. *)
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** Run [f] under [mode], restoring the previous mode on return or
+    raise.  For tests and benchmarks; not atomic across domains. *)

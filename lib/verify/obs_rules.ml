@@ -57,6 +57,44 @@ let check_caches subject =
                   prefix ]))
     m.Metrics.counters
 
+(* obs/cache-capacity: a capped cache that refuses an insert records
+   the drop, and every drop was first classified as a miss (only a miss
+   computes a value there is no room for), so drops <= misses — and the
+   lookup triple must be present for the drop count to mean anything. *)
+let check_cache_capacity subject =
+  let rule = "obs/cache-capacity" in
+  let m = metrics_exn subject in
+  List.concat_map
+    (fun (name, drops) ->
+      match Filename.chop_suffix_opt ~suffix:".capacity_drops" name with
+      | None -> []
+      | Some prefix -> (
+          match
+            ( find (prefix ^ ".lookups") m.Metrics.counters,
+              find (prefix ^ ".hits") m.Metrics.counters,
+              find (prefix ^ ".misses") m.Metrics.counters )
+          with
+          | Some lookups, Some hits, Some misses ->
+              List.concat
+                [ (if drops > misses then
+                     [ D.error ~rule
+                         "cache %s: %d capacity drops but only %d misses — \
+                          an insert was skipped without a prior miss"
+                         prefix drops misses ]
+                   else []);
+                  (if hits + misses <> lookups then
+                     [ D.error ~rule
+                         "cache %s: hits (%d) + misses (%d) = %d, but %d \
+                          lookups were recorded"
+                         prefix hits misses (hits + misses) lookups ]
+                   else []) ]
+          | None, _, _ | _, None, _ | _, _, None ->
+              [ D.warn ~rule
+                  "cache %s records capacity drops without the full \
+                   lookups/hits/misses triple; the drops cannot be audited"
+                  prefix ]))
+    m.Metrics.counters
+
 (* obs/histogram-consistency: bucket populations are non-negative and
    sum to the recorded observation count; an empty histogram has sum
    zero. *)
@@ -118,6 +156,9 @@ let all =
     Rule.make ~id:"obs/cache-consistency"
       ~synopsis:"cache counters satisfy hits + misses = lookups"
       ~requires:Rule.Needs_metrics check_caches;
+    Rule.make ~id:"obs/cache-capacity"
+      ~synopsis:"capped-cache drops are classified misses"
+      ~requires:Rule.Needs_metrics check_cache_capacity;
     Rule.make ~id:"obs/histogram-consistency"
       ~synopsis:"histogram buckets are sane and sum to the count"
       ~requires:Rule.Needs_metrics check_histograms;

@@ -265,7 +265,7 @@ let test_obs_rules_skip_without_metrics () =
     Verify.run ~rules:Ftes_verify.Obs_rules.all
       (Subject.of_problem (problem_of_seed 7))
   in
-  Alcotest.(check int) "all obs rules skipped" 4
+  Alcotest.(check int) "all obs rules skipped" 5
     (List.length report.Report.rules_skipped)
 
 (* Mutation tests: each hand-broken snapshot must trip exactly the rule
@@ -296,6 +296,11 @@ let test_obs_rule_mutations () =
     { empty_snapshot with
       Metrics.histograms =
         [ ("h", { Metrics.buckets = [| 0 |]; count = 0; sum = 5 }) ] };
+  check "capacity drops exceed misses" "obs/cache-capacity"
+    { empty_snapshot with
+      Metrics.counters =
+        [ ("c.capacity_drops", 7); ("c.hits", 6); ("c.lookups", 10);
+          ("c.misses", 4) ] };
   check "span count / histogram drift" "obs/span-aggregates"
     { empty_snapshot with
       Metrics.counters = [ ("span.x.count", 3) ];
@@ -305,8 +310,8 @@ let test_obs_rule_mutations () =
   (* And the matching healthy snapshots stay clean. *)
   let healthy =
     { Metrics.counters =
-        [ ("c.hits", 6); ("c.lookups", 10); ("c.misses", 4);
-          ("span.x.count", 2) ];
+        [ ("c.capacity_drops", 3); ("c.hits", 6); ("c.lookups", 10);
+          ("c.misses", 4); ("span.x.count", 2) ];
       gauges = [];
       histograms =
         [ ( "span.x.ns.hist",
