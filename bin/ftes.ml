@@ -2,6 +2,7 @@
    design optimizer.
 
      ftes optimize   run MIN/MAX/OPT on a built-in problem
+     ftes pareto     cost/slack/margin Pareto frontier of feasible designs
      ftes generate   generate a synthetic application
      ftes simulate   fault-injection campaign on an optimized design
      ftes experiment reproduce a figure/table of the paper
@@ -404,6 +405,186 @@ let lint_cmd =
                with status 3 when any error-severity diagnostic fires." ])
     Term.(term_result term)
 
+(* pareto *)
+
+module Archive = Ftes_pareto.Archive
+module Objective = Ftes_pareto.Objective
+module Frontier_io = Ftes_pareto.Frontier_io
+
+(* Worst-corner reference for the hypervolume indicator: every node at
+   its priciest hardening level plus one cost unit, zero slack, zero
+   margin — dominated by any design with actual headroom. *)
+let default_reference problem =
+  let lib = Ftes_model.Problem.n_library problem in
+  let total = ref 0.0 in
+  for j = 0 to lib - 1 do
+    let worst = ref 0.0 in
+    for level = 1 to Ftes_model.Problem.levels problem j do
+      worst :=
+        Float.max !worst (Ftes_model.Problem.cost problem ~node:j ~level)
+    done;
+    total := !total +. !worst
+  done;
+  { Archive.ref_cost = !total +. 1.0; ref_slack = 0.0; ref_margin = 0.0 }
+
+let write_text_file path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc text;
+      output_char oc '\n')
+
+let run_pareto obs target eps objectives csv_path json_path ref_cost =
+  Driver.with_problem obs target (fun problem config ->
+      match Objective.parse_list objectives with
+      | Error e -> fail "--objectives: %s" e
+      | Ok objectives ->
+          if not (Float.is_finite eps) || eps < 0.0 then
+            fail "--eps must be finite and non-negative"
+          else begin
+            let spec = Archive.spec ~objectives ~eps () in
+            let frontier =
+              Design_strategy.run_frontier ~spec ~config problem
+            in
+            let archive = frontier.Design_strategy.archive in
+            let pts = Archive.points archive in
+            let stats = Archive.stats archive in
+            let reference =
+              let d = default_reference problem in
+              match ref_cost with
+              | Some c -> { d with Archive.ref_cost = c }
+              | None -> d
+            in
+            Printf.printf "pareto %s (strategy %s)\n"
+              (Driver.target_source target) target.Driver.strategy;
+            Printf.printf
+              "frontier: %d points over {%s} at eps %g (%d architectures \
+               explored)\n"
+              (List.length pts)
+              (Objective.names objectives)
+              eps frontier.Design_strategy.explored;
+            (match frontier.Design_strategy.best with
+            | Some s ->
+                Printf.printf
+                  "cheapest: cost %.2f, schedule length %.2f ms, slack %.2f \
+                   ms, margin %.2f decades\n"
+                  s.Design_strategy.result.Redundancy_opt.cost
+                  s.Design_strategy.result.Redundancy_opt.schedule_length
+                  s.Design_strategy.result.Redundancy_opt.slack
+                  s.Design_strategy.result.Redundancy_opt.margin
+            | None -> print_string "no feasible design found\n");
+            Printf.printf
+              "archive: %d boxes (%d inserted, %d dominated, %d evicted)\n"
+              stats.Archive.boxes stats.Archive.inserted
+              stats.Archive.dominated stats.Archive.evicted;
+            let hv = Archive.hypervolume archive ~reference in
+            Printf.printf
+              "hypervolume vs (cost %.2f, slack %.2f ms, margin %.2f): %.6g\n"
+              reference.Archive.ref_cost reference.Archive.ref_slack
+              reference.Archive.ref_margin hv;
+            if pts <> [] then
+              print_string
+                (Ftes_util.Ascii_chart.scatter
+                   ~title:"frontier: architecture cost vs worst-case slack"
+                   ~x_label:"cost" ~y_label:"slack_ms"
+                   (List.map
+                      (fun (p : Archive.point) ->
+                        (p.Archive.cost, p.Archive.slack))
+                      pts));
+            (match csv_path with
+            | Some path ->
+                Ftes_util.Csv.write_file path (Frontier_io.to_csv archive);
+                Printf.printf "wrote %s\n" path
+            | None -> ());
+            (match json_path with
+            | Some path ->
+                write_text_file path (Frontier_io.to_string ~reference archive);
+                Printf.printf "wrote %s\n" path
+            | None -> ());
+            (* Self-certify the emitted frontier with the verifier's
+               pareto rules; the cheapest-point anchor only applies when
+               cost is among the objectives (otherwise the ε-grid is
+               free to coarsen the cost axis away). *)
+            let opt_cost =
+              if List.mem Objective.Cost objectives then
+                Option.map
+                  (fun (s : Design_strategy.solution) ->
+                    s.Design_strategy.result.Redundancy_opt.cost)
+                  frontier.Design_strategy.best
+              else None
+            in
+            let subject =
+              Subject.with_archive ?opt_cost
+                { (Subject.of_problem problem) with
+                  Subject.slack = config.Config.slack;
+                  bus = config.Config.bus }
+                archive
+            in
+            let report =
+              Verify.run ~rules:Ftes_verify.Pareto_rules.all subject
+            in
+            if not (Report.ok report) then begin
+              print_string (Report.to_text report);
+              Driver.request_exit Driver.Lint_failure
+            end;
+            Ok ()
+          end)
+
+let pareto_cmd =
+  let eps =
+    Arg.(value & opt float 0.0 & info [ "eps" ] ~docv:"EPS"
+         ~doc:"ε-dominance grid resolution; 0 keeps the exact frontier.")
+  in
+  let objectives =
+    Arg.(value & opt string "cost,slack,margin"
+         & info [ "objectives" ] ~docv:"LIST"
+         ~doc:"Comma-separated objectives among $(b,cost) (minimized), \
+               $(b,slack) and $(b,margin) (maximized).")
+  in
+  let csv_path =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH"
+         ~doc:"Export the frontier as CSV to $(docv).")
+  in
+  let json_path =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Export the frontier (with the hypervolume and its reference \
+               point) as JSON to $(docv).")
+  in
+  let ref_cost =
+    Arg.(value & opt (some float) None & info [ "ref-cost" ] ~docv:"COST"
+         ~doc:"Cost coordinate of the hypervolume reference corner \
+               (default: the full library at its priciest levels, plus \
+               one).")
+  in
+  let term =
+    Term.(
+      const run_pareto $ Driver.obs_term $ Driver.target_term $ eps
+      $ objectives $ csv_path $ json_path $ ref_cost)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Explore the cost / slack / reliability-margin Pareto frontier"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the selected design strategy while recording every \
+               deadline- and reliability-feasible candidate into an \
+               ε-dominance archive over up to three objectives: \
+               architecture cost (minimized), worst-case schedule slack \
+               and SFP margin in -log10 decades (both maximized).  The \
+               archive's cheapest point is bit-identical to the \
+               single-objective $(b,ftes optimize) solution.";
+           `P "Prints a frontier summary with the hypervolume indicator \
+               (against a fixed worst-corner reference point) and an ASCII \
+               cost-vs-slack scatter chart; $(b,--csv) and $(b,--json) \
+               export the frontier with a versioned schema that \
+               round-trips through the reader.  The emitted archive is \
+               then certified by the verifier's $(b,pareto/*) rules \
+               (every point feasible, recorded objectives re-derived, \
+               mutual non-domination, cheapest point equal to the OPT \
+               cost); any failure exits with status 3." ])
+    Term.(term_result term)
+
 (* export *)
 
 let run_export obs example output =
@@ -439,6 +620,6 @@ let () =
     (Driver.finish
        (Cmd.eval
           (Cmd.group info
-             [ optimize_cmd; generate_cmd; simulate_cmd; experiment_cmd;
-               profile_cmd; export_cmd; worst_case_cmd; checkpoint_cmd;
-               lint_cmd ])))
+             [ optimize_cmd; pareto_cmd; generate_cmd; simulate_cmd;
+               experiment_cmd; profile_cmd; export_cmd; worst_case_cmd;
+               checkpoint_cmd; lint_cmd ])))

@@ -3,6 +3,7 @@ module Platform = Ftes_model.Platform
 module Design = Ftes_model.Design
 module Sfp = Ftes_sfp.Sfp
 module Scheduler = Ftes_sched.Scheduler
+module Archive = Ftes_pareto.Archive
 
 type solution = {
   result : Redundancy_opt.result;
@@ -49,9 +50,15 @@ let c_pruned = Ftes_obs.Metrics.counter "strategy.pruned"
 
 let c_runs = Ftes_obs.Metrics.counter "strategy.runs"
 
-let run ?pool ?cache ~config problem =
-  Ftes_obs.Metrics.incr c_runs;
-  Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
+(* The Fig. 5 walk, parameterized over a feasible-candidate hook.  The
+   hook fires once per feasible result surfaced by an evaluated
+   architecture (the schedule-length winner first, then the cost-refined
+   mapping when one exists), always from the deterministic bookkeeping
+   path: the sequential walk calls it in evaluation order, and the
+   parallel walk only during the ordered batch merge — never from a
+   speculative worker — so the hook sees the exact same sequence whatever
+   the domain count. *)
+let search ?pool ?cache ~config ~on_feasible problem =
   let lib = Problem.n_library problem in
   (* An externally supplied cache lets several runs over the same
      problem (e.g. a hardening-policy sweep) share evaluations; it must
@@ -83,15 +90,18 @@ let run ?pool ?cache ~config problem =
             ~initial:sl_result.Redundancy_opt.design.Design.mapping problem
             ~members
         in
-        let result =
+        let result, candidates =
           match refined with
-          | Some r when r.Redundancy_opt.cost <= sl_result.Redundancy_opt.cost ->
-              r
-          | Some _ | None -> sl_result
+          | Some r when r.Redundancy_opt.cost <= sl_result.Redundancy_opt.cost
+            ->
+              (r, [ sl_result; r ])
+          | Some r -> (sl_result, [ sl_result; r ])
+          | None -> (sl_result, [ sl_result ])
         in
-        `Schedulable result
+        `Schedulable (result, candidates)
   in
-  let record (result : Redundancy_opt.result) =
+  let record (result, candidates) =
+    List.iter on_feasible candidates;
     if result.Redundancy_opt.cost < !best_cost then begin
       best_cost := result.Redundancy_opt.cost;
       best := Some result
@@ -112,8 +122,8 @@ let run ?pool ?cache ~config problem =
           Ftes_obs.Metrics.incr c_explored;
           match evaluate_architecture members with
           | `Unschedulable -> ()
-          | `Schedulable result ->
-              record result;
+          | `Schedulable outcome ->
+              record outcome;
               size_level_seq rest
         end
   in
@@ -142,8 +152,8 @@ let run ?pool ?cache ~config problem =
             Ftes_obs.Metrics.incr c_explored;
             match result with
             | `Unschedulable -> false
-            | `Schedulable result ->
-                record result;
+            | `Schedulable outcome ->
+                record outcome;
                 merge candidates results
           end
       | _ -> assert false
@@ -183,37 +193,67 @@ let run ?pool ?cache ~config problem =
   for n = 1 to lib do
     size_level (architectures_by_speed problem ~n)
   done;
-  Option.map
-    (fun (result : Redundancy_opt.result) ->
-      Ftes_obs.Span.with_ ~name:"strategy/finalize" @@ fun () ->
-      let design = result.Redundancy_opt.design in
-      let schedule =
-        Scheduler.schedule ~slack:config.Config.slack ~bus:config.Config.bus
-          problem design
-      in
-      let analyses =
-        match cache with
-        | Some cache ->
-            let sfp = Redundancy_opt.sfp_cache cache in
-            Array.init (Design.n_members design) (fun member ->
-                Ftes_par.Sfp_cache.node_analysis sfp problem design ~member
-                  ~kmax:(Sfp.analysis_kmax design ~member))
-        | None -> Sfp.analyses_for problem design
-      in
-      let certificate =
-        if config.Config.certify then
-          Some
-            (Ftes_verify.Verify.certify ~slack:config.Config.slack
-               ~bus:config.Config.bus ~sfp_tables:analyses problem design
-               schedule)
-        else None
-      in
-      { result;
-        verdict = Sfp.evaluate_analyses problem design ~analyses;
-        schedule;
-        explored = !explored;
-        certificate })
-    !best
+  (!best, !explored, cache)
+
+let finalize ~config ~cache ~explored problem (result : Redundancy_opt.result)
+    =
+  Ftes_obs.Span.with_ ~name:"strategy/finalize" @@ fun () ->
+  let design = result.Redundancy_opt.design in
+  let schedule =
+    Scheduler.schedule ~slack:config.Config.slack ~bus:config.Config.bus
+      problem design
+  in
+  let analyses =
+    match cache with
+    | Some cache ->
+        let sfp = Redundancy_opt.sfp_cache cache in
+        Array.init (Design.n_members design) (fun member ->
+            Ftes_par.Sfp_cache.node_analysis sfp problem design ~member
+              ~kmax:(Sfp.analysis_kmax design ~member))
+    | None -> Sfp.analyses_for problem design
+  in
+  let certificate =
+    if config.Config.certify then
+      Some
+        (Ftes_verify.Verify.certify ~slack:config.Config.slack
+           ~bus:config.Config.bus ~sfp_tables:analyses problem design schedule)
+    else None
+  in
+  { result;
+    verdict = Sfp.evaluate_analyses problem design ~analyses;
+    schedule;
+    explored;
+    certificate }
+
+let run ?pool ?cache ~config problem =
+  Ftes_obs.Metrics.incr c_runs;
+  Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
+  let best, explored, cache =
+    search ?pool ?cache ~config ~on_feasible:(fun _ -> ()) problem
+  in
+  Option.map (finalize ~config ~cache ~explored problem) best
+
+type frontier = {
+  archive : Archive.t;
+  best : solution option;
+  explored : int;
+}
+
+let run_frontier ?pool ?cache ?spec ~config problem =
+  Ftes_obs.Metrics.incr c_runs;
+  Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
+  let archive = Archive.create ?spec () in
+  let on_feasible (r : Redundancy_opt.result) =
+    Archive.insert archive
+      { Archive.design = r.Redundancy_opt.design;
+        cost = r.Redundancy_opt.cost;
+        slack = r.Redundancy_opt.slack;
+        margin = r.Redundancy_opt.margin }
+  in
+  let best, explored, cache = search ?pool ?cache ~config ~on_feasible problem in
+  { archive;
+    best = Option.map (finalize ~config ~cache ~explored problem) best;
+    explored }
 
 let accepted ?max_cost = function
   | None -> false

@@ -53,6 +53,38 @@ val run :
     configs of all sharing runs must agree except in
     {!Config.t.hardening}. *)
 
+type frontier = {
+  archive : Ftes_pareto.Archive.t;
+      (** every deadline- and ρ-feasible candidate the walk surfaced,
+          ε-filtered over (cost, slack, margin). *)
+  best : solution option;
+      (** the exact {!run} solution — same cost, hardening vector,
+          k-vector, mapping and schedule ([None] iff {!run} returns
+          [None]). *)
+  explored : int;  (** number of architectures evaluated. *)
+}
+
+val run_frontier :
+  ?pool:Ftes_par.Pool.t ->
+  ?cache:Redundancy_opt.cache ->
+  ?spec:Ftes_pareto.Archive.spec ->
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  frontier
+(** {!run}, additionally recording every feasible candidate the walk
+    evaluates (the schedule-length winner and the cost-refined mapping
+    of each schedulable architecture) into a fresh archive over [spec]
+    (default {!Ftes_pareto.Archive.default_spec}).
+
+    Candidates enter the archive only from the walk's deterministic
+    bookkeeping path — under a multi-domain [pool] that is the ordered
+    batch merge, never a speculative worker — so the insertion sequence,
+    and with it the archive, is bit-identical to a sequential run's
+    (the archive is additionally insertion-order independent, see
+    {!Ftes_pareto.Archive}).  The walk itself records exactly the same
+    best solution as {!run}: the [best] field is that solution,
+    finalized identically. *)
+
 val accepted : ?max_cost:float -> solution option -> bool
 (** The acceptance criterion of the experimental evaluation: a solution
     exists and its architecture cost does not exceed the bound (default:

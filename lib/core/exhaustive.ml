@@ -119,10 +119,19 @@ let run ?pool ?(limit = 2_000_000) ~config problem =
                     Scheduler.schedule_length ~slack:config.Config.slack
                       ~bus:config.Config.bus problem design
                   in
-                  if sl <= d +. 1e-9 && better ~best:!best (cost, sl) then
+                  if sl <= d +. 1e-9 && better ~best:!best (cost, sl) then begin
+                    let verdict = Ftes_sfp.Sfp.evaluate problem design in
                     best :=
                       Some
-                        { Redundancy_opt.design; schedule_length = sl; cost }));
+                        { Redundancy_opt.design;
+                          schedule_length = sl;
+                          cost;
+                          slack = d -. sl;
+                          margin =
+                            Ftes_sfp.Sfp.log10_margin problem.Problem.app
+                              ~per_iteration_failure:
+                                verdict.Ftes_sfp.Sfp.per_iteration_failure }
+                  end));
     !best
   in
   let all_subsets = subsets (Problem.n_library problem) in

@@ -1,11 +1,14 @@
 module Design = Ftes_model.Design
 module Problem = Ftes_model.Problem
 module Scheduler = Ftes_sched.Scheduler
+module Sfp = Ftes_sfp.Sfp
 
 type result = {
   design : Design.t;
   schedule_length : float;
   cost : float;
+  slack : float;
+  margin : float;
 }
 
 (* A candidate evaluation is a pure function of (members, levels,
@@ -127,7 +130,30 @@ let evaluate_fresh ?sfp config problem design levels =
             Scheduler.schedule_length ~slack:config.Config.slack
               ~bus:config.Config.bus problem d
           in
-          Some { design = d; schedule_length; cost = Design.cost problem d })
+          (* The optimizer proper only compares lengths and costs; slack
+             and margin ride along so frontier recording (and callers
+             such as the ablations) need not re-derive them.  The SFP
+             tables are the ones [Re_execution_opt] just built — shared
+             via [sfp] when memoized. *)
+          let kmax = config.Config.kmax in
+          let analyse member =
+            match sfp with
+            | Some cache ->
+                Ftes_par.Sfp_cache.node_analysis cache problem d ~member ~kmax
+            | None ->
+                Sfp.node_analysis ~kmax (Design.pfail_vector problem d ~member)
+          in
+          let analyses = Array.init (Design.n_members d) analyse in
+          let per_iteration_failure =
+            Sfp.system_failure_per_iteration analyses ~k:d.Design.reexecs
+          in
+          Some
+            { design = d;
+              schedule_length;
+              cost = Design.cost problem d;
+              slack = deadline problem -. schedule_length;
+              margin =
+                Sfp.log10_margin problem.Problem.app ~per_iteration_failure })
 
 let locked cache f =
   Mutex.lock cache.mutex;

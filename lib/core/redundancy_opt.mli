@@ -21,6 +21,16 @@ type result = {
   design : Ftes_model.Design.t;  (** levels and reexecs filled in. *)
   schedule_length : float;
   cost : float;
+  slack : float;
+      (** deadline minus [schedule_length] — worst-case slack in ms,
+          negative when the candidate misses the deadline.  Computed
+          under the config's slack and bus policies, so callers (the
+          ablations, the frontier recorder) need not re-schedule. *)
+  margin : float;
+      (** {!Ftes_sfp.Sfp.log10_margin} of the candidate's per-iteration
+          failure at the config's [kmax]: decades of reliability
+          headroom below the admissible maximum, non-negative exactly
+          when the reliability goal is met. *)
 }
 
 type cache

@@ -293,7 +293,9 @@ let retry_policy_comparison ?(count = 30) ?(ser = 1e-11) ?(hpd = 0.25) ~seed ()
             let deadline =
               problem.Ftes_model.Problem.app.Ftes_model.Application.deadline_ms
             in
-            let shared = Scheduler.schedule_length problem design in
+            (* The optimizer ran under the default (shared-slack, FCFS)
+               policies, so its result already carries this length. *)
+            let shared = s.Design_strategy.result.Redundancy_opt.schedule_length in
             let dedicated =
               Scheduler.schedule_length ~slack:Scheduler.Dedicated problem
                 design

@@ -1,0 +1,286 @@
+module Design = Ftes_model.Design
+
+type point = {
+  design : Design.t;
+  cost : float;
+  slack : float;
+  margin : float;
+}
+
+type spec = { objectives : Objective.t list; eps : float }
+
+let c_inserted = Ftes_obs.Metrics.counter "pareto.inserted"
+
+let c_dominated = Ftes_obs.Metrics.counter "pareto.dominated"
+
+let c_evicted = Ftes_obs.Metrics.counter "pareto.evicted"
+
+let g_hypervolume = Ftes_obs.Metrics.gauge "pareto.hypervolume"
+
+let validate_spec { objectives; eps } =
+  if objectives = [] then invalid_arg "Archive.spec: empty objective list";
+  let rec dup = function
+    | [] -> false
+    | o :: rest -> List.mem o rest || dup rest
+  in
+  if dup objectives then invalid_arg "Archive.spec: duplicate objective";
+  if not (Float.is_finite eps) || eps < 0.0 then
+    invalid_arg "Archive.spec: eps must be finite and non-negative"
+
+let default_spec = { objectives = Objective.all; eps = 0.0 }
+
+let spec ?(objectives = Objective.all) ?(eps = 0.0) () =
+  let spec = { objectives; eps } in
+  validate_spec spec;
+  spec
+
+let objective_value p = function
+  | Objective.Cost -> p.cost
+  | Objective.Slack -> -.p.slack
+  | Objective.Margin -> -.p.margin
+
+let vector spec p =
+  (* [+. 0.] normalizes a negated zero so equal objective values always
+     produce bit-equal (hence equally hashed) vectors. *)
+  Array.of_list
+    (List.map (fun o -> objective_value p o +. 0.0) spec.objectives)
+
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Archive.dominates: length mismatch";
+  let le = ref true and lt = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then le := false;
+    if a.(i) < b.(i) then lt := true
+  done;
+  !le && !lt
+
+let design_key (d : Design.t) = (d.members, d.levels, d.reexecs, d.mapping)
+
+let compare_points spec a b =
+  let c = compare (vector spec a) (vector spec b) in
+  if c <> 0 then c
+  else begin
+    let c =
+      compare
+        (a.cost, -.a.slack, -.a.margin)
+        (b.cost, -.b.slack, -.b.margin)
+    in
+    if c <> 0 then c else compare (design_key a.design) (design_key b.design)
+  end
+
+type t = {
+  spec : spec;
+  boxes : (float array, point) Hashtbl.t;  (* quantized key -> representative *)
+  mutable best : point option;  (* least inserted point, grid-independent *)
+  mutable inserted : int;
+  mutable dominated : int;
+  mutable evicted : int;
+}
+
+let create ?(spec = default_spec) () =
+  validate_spec spec;
+  {
+    spec;
+    boxes = Hashtbl.create 64;
+    best = None;
+    inserted = 0;
+    dominated = 0;
+    evicted = 0;
+  }
+
+let spec_of t = t.spec
+
+let size t = Hashtbl.length t.boxes
+
+let quantize spec v =
+  if spec.eps = 0.0 then v
+  else Array.map (fun x -> Float.floor (x /. spec.eps) +. 0.0) v
+
+let check_point p =
+  if
+    not
+      (Float.is_finite p.cost && Float.is_finite p.slack
+     && Float.is_finite p.margin)
+  then invalid_arg "Archive.insert: objective values must be finite"
+
+let insert t p =
+  check_point p;
+  Ftes_obs.Span.with_ ~name:"pareto/insert" (fun () ->
+      (match t.best with
+      | Some b when compare_points t.spec b p <= 0 -> ()
+      | _ -> t.best <- Some p);
+      let key = quantize t.spec (vector t.spec p) in
+      match Hashtbl.find_opt t.boxes key with
+      | Some rep ->
+          if compare_points t.spec p rep < 0 then begin
+            Hashtbl.replace t.boxes key p;
+            t.inserted <- t.inserted + 1;
+            Ftes_obs.Metrics.incr c_inserted
+          end
+          else begin
+            t.dominated <- t.dominated + 1;
+            Ftes_obs.Metrics.incr c_dominated
+          end
+      | None ->
+          let beaten =
+            Hashtbl.fold
+              (fun key' _ acc -> acc || dominates key' key)
+              t.boxes false
+          in
+          if beaten then begin
+            t.dominated <- t.dominated + 1;
+            Ftes_obs.Metrics.incr c_dominated
+          end
+          else begin
+            (* Kept boxes are mutually non-dominated, so a box dominated
+               by [key] cannot itself dominate [key]; eviction and
+               acceptance never conflict. *)
+            let victims =
+              Hashtbl.fold
+                (fun key' _ acc ->
+                  if dominates key key' then key' :: acc else acc)
+                t.boxes []
+            in
+            List.iter (Hashtbl.remove t.boxes) victims;
+            let n_victims = List.length victims in
+            if n_victims > 0 then begin
+              t.evicted <- t.evicted + n_victims;
+              Ftes_obs.Metrics.add c_evicted n_victims
+            end;
+            Hashtbl.replace t.boxes key p;
+            t.inserted <- t.inserted + 1;
+            Ftes_obs.Metrics.incr c_inserted
+          end)
+
+let points t =
+  let reps = Hashtbl.fold (fun _ p acc -> p :: acc) t.boxes [] in
+  let all =
+    match t.best with
+    | Some b when not (List.exists (fun p -> p = b) reps) -> b :: reps
+    | _ -> reps
+  in
+  List.sort (compare_points t.spec) all
+
+let min_cost_point t =
+  match points t with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc p -> if p.cost < acc.cost then p else acc)
+           first rest)
+
+let merge a b =
+  if a.spec <> b.spec then invalid_arg "Archive.merge: spec mismatch";
+  Ftes_obs.Span.with_ ~name:"pareto/merge" (fun () ->
+      let t = create ~spec:a.spec () in
+      List.iter (insert t) (points a);
+      List.iter (insert t) (points b);
+      t)
+
+let equal a b = a.spec = b.spec && points a = points b
+
+type reference = { ref_cost : float; ref_slack : float; ref_margin : float }
+
+let reference_vector spec r =
+  let value = function
+    | Objective.Cost -> r.ref_cost
+    | Objective.Slack -> -.r.ref_slack
+    | Objective.Margin -> -.r.ref_margin
+  in
+  Array.of_list (List.map (fun o -> value o +. 0.0) spec.objectives)
+
+(* Exclusive-hypervolume sweep in 2-D: points sorted by x ascending;
+   each point contributes the rectangle between its x, the reference x,
+   its y and the best (lowest) y seen so far. *)
+let hv2 pts ~rx ~ry =
+  let sorted = List.sort compare pts in
+  let rec sweep min_y acc = function
+    | [] -> acc
+    | (x, y) :: rest ->
+        if y < min_y then
+          sweep y (acc +. ((rx -. x) *. (min_y -. y))) rest
+        else sweep min_y acc rest
+  in
+  sweep ry 0.0 sorted
+
+(* 3-D by slicing along the third coordinate: between two consecutive
+   distinct z values the dominated region's cross-section is the 2-D
+   staircase of every point at or below the slice. *)
+let hv3 vs ~r =
+  let zs = List.sort_uniq compare (List.map (fun v -> v.(2)) vs) in
+  let rec slices acc = function
+    | [] -> acc
+    | z :: rest ->
+        let z_next = match rest with z' :: _ -> z' | [] -> r.(2) in
+        let slab =
+          List.filter_map
+            (fun v -> if v.(2) <= z then Some (v.(0), v.(1)) else None)
+            vs
+        in
+        slices (acc +. ((z_next -. z) *. hv2 slab ~rx:r.(0) ~ry:r.(1))) rest
+  in
+  slices 0.0 zs
+
+let hypervolume t ~reference =
+  let r = reference_vector t.spec reference in
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg "Archive.hypervolume: reference must be finite")
+    r;
+  let inside v =
+    let ok = ref true in
+    Array.iteri (fun i x -> if not (x < r.(i)) then ok := false) v;
+    !ok
+  in
+  let vs =
+    List.filter inside (List.map (vector t.spec) (points t))
+  in
+  let hv =
+    match Array.length r with
+    | 1 -> (
+        match vs with
+        | [] -> 0.0
+        | _ ->
+            r.(0)
+            -. List.fold_left (fun m v -> Float.min m v.(0)) Float.infinity vs)
+    | 2 -> hv2 (List.map (fun v -> (v.(0), v.(1))) vs) ~rx:r.(0) ~ry:r.(1)
+    | 3 -> hv3 vs ~r
+    | _ -> assert false (* specs carry at most the three objectives *)
+  in
+  Ftes_obs.Metrics.set g_hypervolume hv;
+  hv
+
+type stats = { boxes : int; inserted : int; dominated : int; evicted : int }
+
+let stats (t : t) =
+  {
+    boxes = Hashtbl.length t.boxes;
+    inserted = t.inserted;
+    dominated = t.dominated;
+    evicted = t.evicted;
+  }
+
+let of_points ?spec pts =
+  let t = create ?spec () in
+  List.iter (insert t) pts;
+  t
+
+let unsafe_of_points ?(spec = default_spec) pts =
+  validate_spec spec;
+  let t = create ~spec () in
+  (* Unique synthetic keys keep every point, however dominated; the
+     result exists only to be read back by the verifier. *)
+  List.iteri
+    (fun i p ->
+      Hashtbl.replace t.boxes
+        (Array.append (vector spec p) [| float_of_int i |])
+        p)
+    pts;
+  (match List.sort (compare_points spec) pts with
+  | [] -> ()
+  | least :: _ -> t.best <- Some least);
+  t

@@ -1,0 +1,135 @@
+(** Anytime ε-dominance archive over feasible designs.
+
+    The archive ingests every feasible candidate the optimizer
+    evaluates and keeps a bounded, deterministic approximation of the
+    Pareto frontier over the selected {!Objective}s.  Its content is a
+    {e pure function of the set of inserted points} — independent of
+    insertion order — which is what makes parallel exploration
+    reproducible: merging per-domain archives in any grouping yields
+    the same archive as sequential insertion (DESIGN.md §11).
+
+    Mechanics: each point's min-oriented objective vector is quantized
+    onto an ε-grid ([floor (v/ε)]; the identity when [ε = 0]).  A grid
+    box survives iff no other inserted box dominates it componentwise —
+    box dominance is transitive, so evictions are permanent and the
+    kept boxes are exactly the minimal elements of the inserted box
+    set.  Each kept box stores one canonical representative: the least
+    inserted point under {!compare_points}.  The least point overall is
+    additionally retained outside the grid, so the exact optimum is
+    never lost to ε-coarsening. *)
+
+type point = {
+  design : Ftes_model.Design.t;
+  cost : float;  (** architecture cost (minimized). *)
+  slack : float;  (** worst-case schedule slack in ms (maximized). *)
+  margin : float;
+      (** SFP margin in -log10 decades (maximized); see
+          {!Ftes_sfp.Sfp.log10_margin}. *)
+}
+
+type spec = {
+  objectives : Objective.t list;  (** non-empty, duplicate-free. *)
+  eps : float;  (** grid resolution; [0.] keeps the exact frontier. *)
+}
+
+val default_spec : spec
+(** All three objectives, [eps = 0.]. *)
+
+val spec : ?objectives:Objective.t list -> ?eps:float -> unit -> spec
+(** Checked constructor.  Raises [Invalid_argument] on an empty or
+    duplicated objective list, or an [eps] that is negative or not
+    finite. *)
+
+type t
+
+val create : ?spec:spec -> unit -> t
+(** Fresh empty archive ({!default_spec} unless given).  The spec is
+    re-validated as by {!spec}. *)
+
+val spec_of : t -> spec
+
+val size : t -> int
+(** Number of kept grid boxes (one representative each). *)
+
+val insert : t -> point -> unit
+(** Offer one feasible point.  O(size) per call.  Raises
+    [Invalid_argument] if an objective value is not finite. *)
+
+val points : t -> point list
+(** The frontier: the kept representatives plus the retained least
+    point, deduplicated and sorted by {!compare_points}.  The result is
+    mutually non-dominated under exact (ε-free) dominance on the
+    archive's objectives. *)
+
+val min_cost_point : t -> point option
+(** The cheapest frontier point (ties broken by {!compare_points}).
+    When [Cost] is among the objectives this is the exact minimum over
+    {e all} inserted points — grid coarsening never loses it. *)
+
+val merge : t -> t -> t
+(** Combine two archives over the same spec into a fresh one; equals
+    inserting both point sets into an empty archive, in any order.
+    Raises [Invalid_argument] on a spec mismatch. *)
+
+val equal : t -> t -> bool
+(** Same spec and bit-identical frontier (costs, slacks, margins and
+    design arrays); insertion statistics are not compared. *)
+
+(** {1 Dominance primitives} (exposed for property tests and the
+    [pareto/*] verifier rules) *)
+
+val vector : spec -> point -> float array
+(** The point's min-oriented objective vector, one entry per selected
+    objective in spec order ([Slack] and [Margin] negated). *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is componentwise [<=] and somewhere [<].
+    Irreflexive and transitive — a strict partial order.  Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val compare_points : spec -> point -> point -> int
+(** Canonical total order: lexicographic on {!vector}, then on the full
+    (cost, -slack, -margin) triple, then on the design arrays.  Its
+    least element over any point set is never dominated. *)
+
+(** {1 Progress indicator} *)
+
+type reference = {
+  ref_cost : float;
+  ref_slack : float;
+  ref_margin : float;
+}
+(** Fixed worst-corner reference point (dominated by every interesting
+    frontier point): hypervolume is measured between the frontier and
+    this corner. *)
+
+val hypervolume : t -> reference:reference -> float
+(** Volume of objective space dominated by the frontier and bounded by
+    [reference] (points not strictly better than the reference in every
+    selected objective contribute nothing).  Exact sweep in 1-D/2-D/3-D,
+    O(n² log n).  Also published on the [pareto.hypervolume] gauge. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  boxes : int;  (** current archive size = kept boxes. *)
+  inserted : int;  (** offers accepted (new box or better representative). *)
+  dominated : int;  (** offers rejected by a kept box or representative. *)
+  evicted : int;  (** boxes displaced by newly inserted dominating boxes. *)
+}
+
+val stats : t -> stats
+(** Per-archive tallies; the process-wide [pareto.*] counters aggregate
+    the same events across every archive. *)
+
+(** {1 Reconstruction} *)
+
+val of_points : ?spec:spec -> point list -> t
+(** {!create} followed by {!insert} of each point — used by the
+    frontier readers. *)
+
+val unsafe_of_points : ?spec:spec -> point list -> t
+(** Archive that reports exactly [points] from {!points}, {e bypassing}
+    dominance filtering — deliberately able to represent invalid
+    archives so the verifier's mutation tests can corrupt one.  Do not
+    {!insert} into or {!merge} the result. *)

@@ -1,0 +1,203 @@
+module Json = Ftes_util.Json
+module Design = Ftes_model.Design
+open Json
+
+let schema_version = 1
+
+let csv_header =
+  [ "cost"; "slack_ms"; "margin_log10"; "members"; "levels"; "reexecs";
+    "mapping" ]
+
+(* %.17g round-trips every finite double through float_of_string. *)
+let float_field = Printf.sprintf "%.17g"
+
+let ints_field arr =
+  String.concat ";" (List.map string_of_int (Array.to_list arr))
+
+let ints_of_field label text =
+  let parts = if text = "" then [] else String.split_on_char ';' text in
+  let rec build acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | part :: rest -> (
+        match int_of_string_opt part with
+        | Some v -> build (v :: acc) rest
+        | None -> Error (Printf.sprintf "%s: bad integer %S" label part))
+  in
+  build [] parts
+
+let float_of_field label text =
+  match float_of_string_opt text with
+  | Some v when Float.is_finite v -> Ok v
+  | _ -> Error (Printf.sprintf "%s: bad number %S" label text)
+
+let guard label f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (label ^ ": " ^ msg)
+
+let point_row (p : Archive.point) =
+  [ float_field p.Archive.cost;
+    float_field p.Archive.slack;
+    float_field p.Archive.margin;
+    ints_field p.Archive.design.Design.members;
+    ints_field p.Archive.design.Design.levels;
+    ints_field p.Archive.design.Design.reexecs;
+    ints_field p.Archive.design.Design.mapping ]
+
+let to_csv archive =
+  csv_header :: List.map point_row (Archive.points archive)
+
+let point_of_fields ~problem ~row cost slack margin members levels reexecs
+    mapping =
+  let label field = Printf.sprintf "row %d, %s" row field in
+  let* cost = float_of_field (label "cost") cost in
+  let* slack = float_of_field (label "slack_ms") slack in
+  let* margin = float_of_field (label "margin_log10") margin in
+  let* members = ints_of_field (label "members") members in
+  let* levels = ints_of_field (label "levels") levels in
+  let* reexecs = ints_of_field (label "reexecs") reexecs in
+  let* mapping = ints_of_field (label "mapping") mapping in
+  let* design =
+    guard
+      (Printf.sprintf "row %d, design" row)
+      (fun () -> Design.make problem ~members ~levels ~reexecs ~mapping)
+  in
+  Ok { Archive.design; cost; slack; margin }
+
+let of_csv ?spec ~problem rows =
+  match rows with
+  | [] -> Error "empty frontier CSV"
+  | header :: body ->
+      if header <> csv_header then
+        Error
+          (Printf.sprintf "unexpected frontier CSV header [%s]"
+             (String.concat "; " header))
+      else begin
+        let rec build acc row = function
+          | [] -> Ok (List.rev acc)
+          | [ cost; slack; margin; members; levels; reexecs; mapping ]
+            :: rest ->
+              let* p =
+                point_of_fields ~problem ~row cost slack margin members levels
+                  reexecs mapping
+              in
+              build (p :: acc) (row + 1) rest
+          | bad :: _ ->
+              Error
+                (Printf.sprintf "row %d: expected %d fields, found %d" row
+                   (List.length csv_header) (List.length bad))
+        in
+        let* pts = build [] 1 body in
+        guard "frontier" (fun () -> Archive.of_points ?spec pts)
+      end
+
+let ints_json arr =
+  List (Array.to_list (Array.map (fun v -> Number (float_of_int v)) arr))
+
+let point_json (p : Archive.point) =
+  Object
+    [ ("cost", Number p.Archive.cost);
+      ("slack_ms", Number p.Archive.slack);
+      ("margin_log10", Number p.Archive.margin);
+      ("members", ints_json p.Archive.design.Design.members);
+      ("levels", ints_json p.Archive.design.Design.levels);
+      ("reexecs", ints_json p.Archive.design.Design.reexecs);
+      ("mapping", ints_json p.Archive.design.Design.mapping) ]
+
+let to_json ?reference archive =
+  let spec = Archive.spec_of archive in
+  let pts = Archive.points archive in
+  let progress =
+    match reference with
+    | None -> []
+    | Some r ->
+        [ ( "reference",
+            Object
+              [ ("cost", Number r.Archive.ref_cost);
+                ("slack_ms", Number r.Archive.ref_slack);
+                ("margin_log10", Number r.Archive.ref_margin) ] );
+          ("hypervolume", Number (Archive.hypervolume archive ~reference:r))
+        ]
+  in
+  Object
+    ([ ("schema_version", Number (float_of_int schema_version));
+       ( "objectives",
+         List
+           (List.map
+              (fun o -> String (Objective.name o))
+              spec.Archive.objectives) );
+       ("eps", Number spec.Archive.eps);
+       ("size", Number (float_of_int (List.length pts))) ]
+    @ progress
+    @ [ ("points", List (List.map point_json pts)) ])
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let int_array_of_json json =
+  let* items = to_list json in
+  let* ints = map_result to_int items in
+  Ok (Array.of_list ints)
+
+let point_of_json ~problem ~row json =
+  let* cost = Result.bind (member "cost" json) to_float in
+  let* slack = Result.bind (member "slack_ms" json) to_float in
+  let* margin = Result.bind (member "margin_log10" json) to_float in
+  let* members = Result.bind (member "members" json) int_array_of_json in
+  let* levels = Result.bind (member "levels" json) int_array_of_json in
+  let* reexecs = Result.bind (member "reexecs" json) int_array_of_json in
+  let* mapping = Result.bind (member "mapping" json) int_array_of_json in
+  let* design =
+    guard
+      (Printf.sprintf "point %d, design" row)
+      (fun () -> Design.make problem ~members ~levels ~reexecs ~mapping)
+  in
+  Ok { Archive.design; cost; slack; margin }
+
+let default_warn msg = Printf.eprintf "frontier_io: warning: %s\n%!" msg
+
+let of_json ?(on_warning = default_warn) ~problem json =
+  let* () =
+    match member "schema_version" json with
+    | Error _ ->
+        on_warning
+          (Printf.sprintf
+             "document has no \"schema_version\" field; reading it as the \
+              deprecated v0 format (re-export to upgrade to v%d)"
+             schema_version);
+        Ok ()
+    | Ok v -> (
+        match to_int v with
+        | Error e -> Error ("schema_version: " ^ e)
+        | Ok v when v = 0 || v = schema_version -> Ok ()
+        | Ok v ->
+            Error
+              (Printf.sprintf
+                 "unsupported schema_version %d (this build reads versions 0 \
+                  and %d; a newer ftes probably wrote this file)"
+                 v schema_version))
+  in
+  let* names = Result.bind (member "objectives" json) to_list in
+  let* names = map_result to_string_value names in
+  let* objectives = map_result Objective.of_name names in
+  let* eps = Result.bind (member "eps" json) to_float in
+  let* spec = guard "spec" (fun () -> Archive.spec ~objectives ~eps ()) in
+  let* items = Result.bind (member "points" json) to_list in
+  let rec build acc row = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+        let* p = point_of_json ~problem ~row item in
+        build (p :: acc) (row + 1) rest
+  in
+  let* pts = build [] 1 items in
+  guard "frontier" (fun () -> Archive.of_points ~spec pts)
+
+let to_string ?reference archive = Json.to_string (to_json ?reference archive)
+
+let of_string ?on_warning ~problem text =
+  let* json = Json.of_string text in
+  of_json ?on_warning ~problem json

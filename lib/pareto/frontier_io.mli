@@ -1,0 +1,53 @@
+(** Frontier exchange formats (CSV and JSON), following the
+    {!Ftes_model.Problem_io} conventions: JSON documents carry an
+    explicit ["schema_version"] (currently 1); a versionless document
+    is read as the deprecated v0 with a warning; an unknown version is
+    rejected.
+
+    Both readers take the {!Ftes_model.Problem.t} the frontier was
+    computed for and re-validate every design against it through the
+    checked {!Ftes_model.Design.make}, so a frontier file can never
+    smuggle an out-of-library design back into the toolchain. *)
+
+val schema_version : int
+
+val csv_header : string list
+(** [cost; slack_ms; margin_log10; members; levels; reexecs; mapping] —
+    objective values as round-trippable decimal floats, design arrays
+    as [';']-joined integers. *)
+
+val to_csv : Archive.t -> string list list
+(** Header row followed by one row per frontier point, in
+    {!Archive.points} order. *)
+
+val of_csv :
+  ?spec:Archive.spec ->
+  problem:Ftes_model.Problem.t ->
+  string list list ->
+  (Archive.t, string) result
+(** Rebuild an archive ({!Archive.default_spec} unless [spec] is given
+    — the CSV carries data only) by re-inserting every row.  Rejects a
+    bad header, malformed fields and designs that do not validate. *)
+
+val to_json : ?reference:Archive.reference -> Archive.t -> Ftes_util.Json.t
+(** Self-describing document: schema version, objective names, [eps],
+    frontier size and points; when [reference] is given, also the
+    reference corner and the archive's hypervolume against it. *)
+
+val of_json :
+  ?on_warning:(string -> unit) ->
+  problem:Ftes_model.Problem.t ->
+  Ftes_util.Json.t ->
+  (Archive.t, string) result
+(** Inverse of {!to_json}; the spec ([objectives] and [eps]) is read
+    from the document itself.  [on_warning] receives the v0
+    deprecation notice (default: print to [stderr]). *)
+
+val to_string : ?reference:Archive.reference -> Archive.t -> string
+(** Rendered {!to_json}. *)
+
+val of_string :
+  ?on_warning:(string -> unit) ->
+  problem:Ftes_model.Problem.t ->
+  string ->
+  (Archive.t, string) result

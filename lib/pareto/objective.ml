@@ -1,0 +1,36 @@
+type t = Cost | Slack | Margin
+
+let all = [ Cost; Slack; Margin ]
+
+let name = function Cost -> "cost" | Slack -> "slack" | Margin -> "margin"
+
+let of_name = function
+  | "cost" -> Ok Cost
+  | "slack" -> Ok Slack
+  | "margin" -> Ok Margin
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown objective %S (expected cost, slack or margin)" other)
+
+let parse_list text =
+  let parts =
+    String.split_on_char ',' text |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "empty objective list"
+  else begin
+    let rec build seen = function
+      | [] -> Ok (List.rev seen)
+      | part :: rest -> (
+          match of_name part with
+          | Error _ as e -> e
+          | Ok o ->
+              if List.mem o seen then
+                Error (Printf.sprintf "duplicate objective %S" part)
+              else build (o :: seen) rest)
+    in
+    build [] parts
+  end
+
+let names objectives = String.concat "," (List.map name objectives)

@@ -1,0 +1,31 @@
+(** The three archive objectives of the frontier subsystem.
+
+    Every objective is normalized to {e minimization} internally (the
+    archive compares min-oriented vectors), but the external reading is
+    the natural one: cost is minimized while slack and reliability
+    margin are maximized. *)
+
+type t =
+  | Cost  (** architecture cost (minimize). *)
+  | Slack  (** worst-case schedule slack in ms (maximize). *)
+  | Margin
+      (** SFP margin in -log10 space, decades below the admissible
+          per-iteration failure probability (maximize);
+          see {!Ftes_sfp.Sfp.log10_margin}. *)
+
+val all : t list
+(** [[Cost; Slack; Margin]] — the default objective set, in canonical
+    order. *)
+
+val name : t -> string
+(** ["cost"], ["slack"], ["margin"] — the spelling used by
+    [--objectives], CSV headers and JSON documents. *)
+
+val of_name : string -> (t, string) result
+
+val parse_list : string -> (t list, string) result
+(** Parse a comma-separated objective list (e.g. ["cost,slack"]).
+    Rejects empty lists, unknown names and duplicates. *)
+
+val names : t list -> string
+(** Comma-joined {!name}s, the inverse of {!parse_list}. *)

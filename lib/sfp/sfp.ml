@@ -103,6 +103,25 @@ type verdict = {
   meets_goal : bool;
 }
 
+let margin_cap = 300.0
+
+let max_admissible_failure app =
+  (* Invert formula (6): (1 - p)^ceil(N) >= rho  <=>  p <= 1 - rho^(1/ceil N).
+     expm1/log keep precision for rho close to 1 (gamma tiny). *)
+  let iterations = Float.ceil (Application.iterations_per_hour app) in
+  let rho = Application.reliability_goal app in
+  -.Float.expm1 (Float.log rho /. iterations)
+
+let log10_margin app ~per_iteration_failure =
+  let p_max = max_admissible_failure app in
+  if per_iteration_failure <= 0.0 then margin_cap
+  else begin
+    let m = Float.log10 (p_max /. per_iteration_failure) in
+    if m > margin_cap then margin_cap
+    else if m < -.margin_cap then -.margin_cap
+    else m
+  end
+
 let analysis_kmax design ~member =
   max default_kmax design.Design.reexecs.(member)
 

@@ -75,6 +75,27 @@ type verdict = {
   meets_goal : bool;
 }
 
+val margin_cap : float
+(** Saturation bound (300 decades) of {!log10_margin}: the magnitude at
+    which the logarithmic margin is clamped, keeping archive objectives
+    finite even for a zero failure probability. *)
+
+val max_admissible_failure : Ftes_model.Application.t -> float
+(** The largest per-iteration failure probability that still meets
+    formula (6): [1 - rho^(1/ceil(iterations per hour))].  A design
+    meets the reliability goal iff its per-iteration failure does not
+    exceed this threshold. *)
+
+val log10_margin :
+  Ftes_model.Application.t -> per_iteration_failure:float -> float
+(** Reliability margin in -log10 space:
+    [log10 (max_admissible_failure / per_iteration_failure)] — how many
+    decades the design's per-iteration failure sits {e below} the
+    admissible maximum.  Non-negative exactly when the goal is met,
+    clamped to [±]{!margin_cap} (and to the cap for a zero failure
+    probability).  This is the third archive objective of
+    {!Ftes_pareto}. *)
+
 val analysis_kmax : Ftes_model.Design.t -> member:int -> int
 (** The table bound {!evaluate} uses for one member:
     [max default_kmax reexecs.(member)]. *)

@@ -16,3 +16,17 @@ val bar_chart :
 val sparkline : float list -> string
 (** One-line sketch of a numeric series using block characters
     (["_.-~^"] levels in pure ASCII). *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (float * float) list ->
+  string
+(** [scatter ~title ~x_label ~y_label points] renders an [*]-per-point
+    scatter plot on a [width] x [height] character grid (default
+    60 x 12), axes annotated with the data extremes — the [ftes pareto]
+    cost-vs-slack view.  Coincident grid cells collapse into one mark;
+    an empty point list renders a ["(no points)"] placeholder. *)

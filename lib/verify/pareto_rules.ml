@@ -1,0 +1,180 @@
+(* Claims of a frontier archive, re-derived from scratch.  A point's
+   feasibility is checked against the subject's slack and bus policies
+   (the ones the frontier was explored under), not against anything the
+   producer recorded; dominance is re-checked on exact objective
+   vectors, so the ε-grid may only make the reported frontier sparser,
+   never let a dominated point through. *)
+
+module Problem = Ftes_model.Problem
+module Design = Ftes_model.Design
+module Application = Ftes_model.Application
+module Scheduler = Ftes_sched.Scheduler
+module Sfp = Ftes_sfp.Sfp
+module Archive = Ftes_pareto.Archive
+module Tolerance = Ftes_util.Tolerance
+module D = Diagnostic
+
+let archive_exn subject =
+  match subject.Subject.archive with
+  | Some a -> a
+  | None -> invalid_arg "verifier: pareto rule run without an archive"
+
+let deadline problem = problem.Problem.app.Application.deadline_ms
+
+(* Iterate a per-point check over the frontier, tagging diagnostics
+   with the point's position in the canonical points order. *)
+let per_point archive f =
+  List.concat (List.mapi f (Archive.points archive))
+
+(* pareto/feasible: every frontier point is a valid design that meets
+   the deadline under the subject's policies and the reliability goal
+   ρ = 1 - γ. *)
+let check_feasible subject =
+  let rule = "pareto/feasible" in
+  let problem = subject.Subject.problem in
+  per_point (archive_exn subject) (fun index (p : Archive.point) ->
+      match Design.validate problem p.Archive.design with
+      | Error msg ->
+          [ D.error ~rule "frontier point %d: invalid design: %s" index msg ]
+      | Ok () ->
+          let acc = ref [] in
+          let sl =
+            Scheduler.schedule_length ~slack:subject.Subject.slack
+              ~bus:subject.Subject.bus problem p.Archive.design
+          in
+          if not (Tolerance.leq sl (deadline problem)) then
+            acc :=
+              D.error ~rule
+                "frontier point %d: schedule length %.17g ms misses the \
+                 deadline %g ms"
+                index sl (deadline problem)
+              :: !acc;
+          let verdict = Sfp.evaluate problem p.Archive.design in
+          if not verdict.Sfp.meets_goal then
+            acc :=
+              D.error ~rule
+                "frontier point %d: per-hour reliability %.11f misses the \
+                 goal %.11f"
+                index verdict.Sfp.reliability_per_hour verdict.Sfp.goal
+              :: !acc;
+          List.rev !acc)
+
+(* pareto/objectives: the recorded objective values are the ones the
+   design actually has — cost from the library, slack from a re-derived
+   schedule, margin from a re-derived SFP verdict. *)
+let check_objectives subject =
+  let rule = "pareto/objectives" in
+  let problem = subject.Subject.problem in
+  per_point (archive_exn subject) (fun index (p : Archive.point) ->
+      match Design.validate problem p.Archive.design with
+      | Error _ -> [] (* pareto/feasible already reports the broken design *)
+      | Ok () ->
+          let acc = ref [] in
+          let cost = Design.cost problem p.Archive.design in
+          if
+            not
+              (Tolerance.approx ~eps:Tolerance.cost_eps p.Archive.cost cost)
+          then
+            acc :=
+              D.error ~rule
+                "frontier point %d: recorded cost %.17g but the library \
+                 prices the design at %.17g"
+                index p.Archive.cost cost
+              :: !acc;
+          let slack =
+            deadline problem
+            -. Scheduler.schedule_length ~slack:subject.Subject.slack
+                 ~bus:subject.Subject.bus problem p.Archive.design
+          in
+          if not (Tolerance.approx ~eps:Tolerance.time_eps_ms p.Archive.slack slack)
+          then
+            acc :=
+              D.error ~rule
+                "frontier point %d: recorded slack %.17g ms but re-derivation \
+                 gives %.17g ms"
+                index p.Archive.slack slack
+              :: !acc;
+          let verdict = Sfp.evaluate problem p.Archive.design in
+          let margin =
+            Sfp.log10_margin problem.Problem.app
+              ~per_iteration_failure:verdict.Sfp.per_iteration_failure
+          in
+          (* The producer may have analysed under a different kmax than
+             [Sfp.analysis_kmax]; the directed rounding of formula (4)
+             can then differ by a grain, which log10 stretches — a loose
+             absolute tolerance still catches corrupted margins, which
+             mutate by whole decades. *)
+          if not (Tolerance.approx ~eps:1e-6 p.Archive.margin margin) then
+            acc :=
+              D.error ~rule
+                "frontier point %d: recorded margin %.17g decades but \
+                 re-derivation gives %.17g"
+                index p.Archive.margin margin
+              :: !acc;
+          List.rev !acc)
+
+(* pareto/non-dominated: after ε-filtering, the reported frontier must
+   be mutually non-dominated under the exact (ε-free) dominance on the
+   archive's objectives — the grid may drop points, never admit a
+   dominated one. *)
+let check_non_dominated subject =
+  let rule = "pareto/non-dominated" in
+  let archive = archive_exn subject in
+  let spec = Archive.spec_of archive in
+  let pts = Array.of_list (Archive.points archive) in
+  let vectors = Array.map (Archive.vector spec) pts in
+  let acc = ref [] in
+  Array.iteri
+    (fun i vi ->
+      Array.iteri
+        (fun j vj ->
+          if i <> j && Archive.dominates vi vj then
+            acc :=
+              D.error ~rule
+                "frontier point %d (cost %.17g, slack %.17g, margin %.17g) \
+                 dominates point %d (cost %.17g, slack %.17g, margin %.17g)"
+                i pts.(i).Archive.cost pts.(i).Archive.slack
+                pts.(i).Archive.margin j pts.(j).Archive.cost
+                pts.(j).Archive.slack pts.(j).Archive.margin
+              :: !acc)
+        vectors)
+    vectors;
+  List.rev !acc
+
+(* pareto/min-cost: anytime optimality anchor — the archive's cheapest
+   point costs exactly what the single-objective OPT walk found.  The
+   frontier recorder sees every candidate the walk records, so the
+   equality is bit-level, not approximate. *)
+let check_min_cost subject =
+  let rule = "pareto/min-cost" in
+  match subject.Subject.opt_cost with
+  | None -> [] (* nothing to anchor against *)
+  | Some opt_cost -> (
+      match Archive.min_cost_point (archive_exn subject) with
+      | None ->
+          [ D.error ~rule
+              "archive is empty but the OPT walk found a solution of cost \
+               %.17g"
+              opt_cost ]
+      | Some p ->
+          if p.Archive.cost = opt_cost then []
+          else
+            [ D.error ~rule
+                "archive's cheapest point costs %.17g but the OPT walk found \
+                 %.17g"
+                p.Archive.cost opt_cost ])
+
+let all =
+  [ Rule.make ~id:"pareto/feasible"
+      ~synopsis:"every frontier point meets the deadline and the \
+                 reliability goal"
+      ~requires:Rule.Needs_archive check_feasible;
+    Rule.make ~id:"pareto/objectives"
+      ~synopsis:"recorded cost/slack/margin match re-derivation"
+      ~requires:Rule.Needs_archive check_objectives;
+    Rule.make ~id:"pareto/non-dominated"
+      ~synopsis:"the reported frontier is mutually non-dominated"
+      ~requires:Rule.Needs_archive check_non_dominated;
+    Rule.make ~id:"pareto/min-cost"
+      ~synopsis:"the archive's cheapest point equals the OPT cost"
+      ~requires:Rule.Needs_archive check_min_cost ]

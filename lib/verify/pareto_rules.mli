@@ -1,0 +1,13 @@
+(** Rules over an attached Pareto archive ([pareto/*]).
+
+    The archive claims that every one of its points is a feasible
+    design and that together they approximate the Pareto frontier;
+    these rules re-derive both claims from the subject's problem and
+    policies instead of trusting the producer: each point is
+    re-validated, re-scheduled and re-analysed, the recorded objective
+    values are compared against the recomputation, mutual
+    non-domination is re-checked pairwise, and — when the subject
+    carries the single-objective OPT cost — the archive's cheapest
+    point is required to match it exactly. *)
+
+val all : Rule.t list

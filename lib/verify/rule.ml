@@ -4,6 +4,7 @@ type requires =
   | Needs_schedule
   | Needs_sfp_tables
   | Needs_metrics
+  | Needs_archive
 
 type t = {
   id : string;
@@ -23,3 +24,4 @@ let applicable subject t =
   | Needs_sfp_tables ->
       subject.Subject.design <> None && subject.Subject.sfp_tables <> None
   | Needs_metrics -> subject.Subject.metrics <> None
+  | Needs_archive -> subject.Subject.archive <> None

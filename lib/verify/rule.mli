@@ -8,6 +8,8 @@ type requires =
       (** skipped unless design and memoized SFP tables are present. *)
   | Needs_metrics
       (** skipped unless the subject carries a metrics snapshot. *)
+  | Needs_archive
+      (** skipped unless the subject carries a Pareto archive. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

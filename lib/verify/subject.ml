@@ -12,19 +12,29 @@ type t = {
   bus : Bus.policy;
   sfp_tables : Ftes_sfp.Sfp.node_analysis array option;
   metrics : Ftes_obs.Metrics.snapshot option;
+  archive : Ftes_pareto.Archive.t option;
+  opt_cost : float option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
-    bus = Bus.Fcfs; sfp_tables = None; metrics = None }
+    bus = Bus.Fcfs; sfp_tables = None; metrics = None; archive = None;
+    opt_cost = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
 let of_schedule ?(slack = Scheduler.Shared) ?(bus = Bus.Fcfs) ?sfp_tables
     problem design schedule =
-  { problem; design = Some design; schedule = Some schedule; slack; bus;
-    sfp_tables; metrics = None }
+  { (of_problem problem) with
+    design = Some design;
+    schedule = Some schedule;
+    slack;
+    bus;
+    sfp_tables }
 
 let with_sfp_tables t tables = { t with sfp_tables = Some tables }
 
 let with_metrics t snapshot = { t with metrics = Some snapshot }
+
+let with_archive ?opt_cost t archive =
+  { t with archive = Some archive; opt_cost }

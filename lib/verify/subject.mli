@@ -20,6 +20,14 @@ type t = {
   metrics : Ftes_obs.Metrics.snapshot option;
       (** metrics snapshot taken from the producing run, when the
           caller wants its internal consistency certified. *)
+  archive : Ftes_pareto.Archive.t option;
+      (** Pareto archive produced by a frontier run, when the caller
+          wants the [pareto/*] rules to certify it against the
+          subject's problem and policies. *)
+  opt_cost : float option;
+      (** the single-objective OPT cost {!Ftes_core.Design_strategy}
+          found for the same problem and config, when known — enables
+          the [pareto/min-cost] cross-check. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -43,3 +51,9 @@ val with_sfp_tables : t -> Ftes_sfp.Sfp.node_analysis array -> t
 
 val with_metrics : t -> Ftes_obs.Metrics.snapshot -> t
 (** Attach a metrics snapshot, enabling the [obs/*] rules. *)
+
+val with_archive : ?opt_cost:float -> t -> Ftes_pareto.Archive.t -> t
+(** Attach a frontier archive (and, when known, the reference OPT
+    cost), enabling the [pareto/*] rules.  The subject's [slack] and
+    [bus] must be the policies the frontier was explored under: the
+    feasibility rules re-derive each point's schedule against them. *)
