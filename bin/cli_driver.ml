@@ -22,11 +22,15 @@ module Obs_report = Ftes_obs.Report
 
 (* cmdliner owns 1/124/125 for CLI and internal errors; the driver's
    own outcomes are typed here and mapped in one place.  [Lint_failure]
-   is requested (not [exit]ed) so that the observability teardown —
-   flushing --trace / --metrics files — still runs. *)
-type exit_code = Success | Lint_failure
+   and [Infeasible] are requested (not [exit]ed) so that the
+   observability teardown — flushing --trace / --metrics files — still
+   runs.  Both map to status 3: "a check failed with a report", as
+   opposed to cmdliner's own 1/124/125. *)
+type exit_code = Success | Lint_failure | Infeasible
 
-let int_of_exit_code = function Success -> 0 | Lint_failure -> 3
+let int_of_exit_code = function
+  | Success -> 0
+  | Lint_failure | Infeasible -> 3
 
 let pending = ref Success
 
@@ -36,6 +40,21 @@ let finish eval_code =
   if eval_code <> 0 then eval_code else int_of_exit_code !pending
 
 let fail fmt = Printf.ksprintf (fun s -> Error (`Msg s)) fmt
+
+(* --- JSON report envelope --- *)
+
+(* Shared by every subcommand that prints a machine-readable report
+   (lint, analyze): a versioned envelope naming the subject and the
+   strategy, with command-specific fields appended. *)
+let report_schema_version = 1
+
+let report_json ~source ~strategy fields =
+  Ftes_util.Json.Object
+    (( "schema_version",
+       Ftes_util.Json.Number (float_of_int report_schema_version) )
+     :: ("subject", Ftes_util.Json.String source)
+     :: ("strategy", Ftes_util.Json.String strategy)
+     :: fields)
 
 (* --- problem & strategy resolution --- *)
 

@@ -63,7 +63,7 @@ let optimize_cmd =
 
 (* generate *)
 
-let run_generate obs index procs ser hpd dot =
+let run_generate obs index procs ser hpd dot output =
   Driver.with_observability obs (fun () ->
       if procs <= 0 then fail "process count must be positive"
       else begin
@@ -78,6 +78,11 @@ let run_generate obs index procs ser hpd dot =
           (Ftes_model.Task_graph.n_edges spec.Workload.graph);
         if dot then
           print_string (Ftes_model.Task_graph.to_dot spec.Workload.graph);
+        Option.iter
+          (fun path ->
+            Ftes_model.Problem_io.save path problem;
+            Printf.eprintf "wrote %s\n%!" path)
+          output;
         Ok ()
       end)
 
@@ -99,9 +104,17 @@ let generate_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Print the task graph in DOT form.")
   in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"PATH"
+          ~doc:"Also write the generated problem instance as JSON to $(docv).")
+  in
   let term =
     Term.(
-      const run_generate $ Driver.obs_term $ index $ procs $ ser $ hpd $ dot)
+      const run_generate $ Driver.obs_term $ index $ procs $ ser $ hpd $ dot
+      $ output)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic application")
     Term.(term_result term)
@@ -339,11 +352,8 @@ module Subject = Ftes_verify.Subject
 module Json = Ftes_util.Json
 
 let lint_json ~source ~strategy ~feasible report =
-  Json.Object
-    [ ("subject", Json.String source);
-      ("strategy", Json.String strategy);
-      ("feasible", Json.Bool feasible);
-      ("report", Report.to_json report) ]
+  Driver.report_json ~source ~strategy
+    [ ("feasible", Json.Bool feasible); ("report", Report.to_json report) ]
 
 let run_lint obs target format =
   Driver.with_solution obs target ~certify:true
@@ -403,6 +413,171 @@ let lint_cmd =
                soundness (precedence, overlap, recovery slack, deadline) \
                and the numerical contracts of the SFP analysis.  Exits \
                with status 3 when any error-severity diagnostic fires." ])
+    Term.(term_result term)
+
+(* analyze *)
+
+module Preflight = Ftes_analyze.Preflight
+module Certificate = Ftes_analyze.Certificate
+module Certificate_io = Ftes_analyze.Certificate_io
+
+let bound_string v = if Float.is_finite v then Printf.sprintf "%.2f" v else "unbounded (no admissible assignment)"
+
+let analysis_text source strategy problem (pf : Preflight.t) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let name p =
+    Ftes_model.Application.process_name problem.Ftes_model.Problem.app p
+  in
+  add "analyze %s (strategy %s)\n" source strategy;
+  add "premises: deadline %.2f ms, kmax %d, %s slack accounting\n"
+    pf.Preflight.deadline_ms pf.Preflight.kmax
+    (if pf.Preflight.reexec then "re-execution" else "non-re-execution");
+  add "critical path   %.2f ms (%s)\n" pf.Preflight.critical_path_ms
+    (String.concat " -> " (List.map name pf.Preflight.critical_path));
+  add "total work      %.2f ms of %.2f ms library capacity\n"
+    pf.Preflight.total_work_ms pf.Preflight.capacity_ms;
+  add "cost lower bound %s (reliability-only: %s)\n"
+    (bound_string pf.Preflight.cost_lower_bound)
+    (bound_string pf.Preflight.sfp_cost_lower_bound);
+  (match pf.Preflight.witnesses with
+  | [] ->
+      add "verdict: feasible — no necessary condition is violated\n"
+  | ws ->
+      add "verdict: provably infeasible (%d witness%s)\n" (List.length ws)
+        (if List.length ws = 1 then "" else "es");
+      List.iter
+        (fun w -> add "  - %s\n" (Preflight.witness_to_string problem w))
+        ws);
+  Buffer.contents b
+
+let load_frontier problem path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> Ftes_pareto.Frontier_io.of_string ~problem contents
+
+let run_audit problem config format ~source ~strategy ~cert_path
+    ~frontier_path =
+  match Certificate_io.load cert_path with
+  | Error e -> fail "--audit %s: %s" cert_path e
+  | Ok cert -> (
+      let subject =
+        Subject.with_certificate
+          { (Subject.of_problem problem) with
+            Subject.slack = config.Config.slack;
+            bus = config.Config.bus }
+          cert
+      in
+      let subject =
+        match frontier_path with
+        | None -> Ok subject
+        | Some path -> (
+            match load_frontier problem path with
+            | Error e -> Error (Printf.sprintf "--frontier %s: %s" path e)
+            | Ok archive -> Ok (Subject.with_archive subject archive))
+      in
+      match subject with
+      | Error e -> fail "%s" e
+      | Ok subject ->
+          let report = Verify.run subject in
+          (match format with
+          | `Json ->
+              print_endline
+                (Json.to_string
+                   (Driver.report_json ~source ~strategy
+                      [ ("certificate", Json.String cert_path);
+                        ("report", Report.to_json report) ]))
+          | `Text ->
+              Printf.printf "audit %s against %s (strategy %s)\n" cert_path
+                source strategy;
+              print_string (Report.to_text report));
+          if not (Report.ok report) then
+            Driver.request_exit Driver.Lint_failure;
+          Ok ())
+
+let run_analyze obs target format cert_path audit_path frontier_path =
+  Driver.with_problem obs target (fun problem config ->
+      let source = Driver.target_source target in
+      let strategy = target.Driver.strategy in
+      match audit_path with
+      | Some cert_path ->
+          run_audit problem config format ~source ~strategy ~cert_path
+            ~frontier_path
+      | None ->
+          let pf =
+            Preflight.run ~kmax:config.Config.kmax ~slack:config.Config.slack
+              problem
+          in
+          let cert = Certificate.of_preflight pf in
+          (match cert_path with
+          | Some path ->
+              Certificate_io.save path cert;
+              Printf.eprintf "wrote %s\n%!" path
+          | None -> ());
+          (match format with
+          | `Json ->
+              print_endline
+                (Json.to_string
+                   (Driver.report_json ~source ~strategy
+                      [ ("feasible", Json.Bool (Preflight.feasible pf));
+                        ("analysis", Certificate_io.to_json cert) ]))
+          | `Text -> print_string (analysis_text source strategy problem pf));
+          (* Status 3 = proven infeasible, with the witnesses printed;
+             requested, not exited, so --trace/--metrics still flush. *)
+          if not (Preflight.feasible pf) then
+            Driver.request_exit Driver.Infeasible;
+          Ok ())
+
+let analyze_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let cert_path =
+    Arg.(value & opt (some string) None & info [ "cert" ] ~docv:"PATH"
+         ~doc:"Write the analysis as a versioned certificate to $(docv).")
+  in
+  let audit_path =
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"PATH"
+         ~doc:"Audit an existing certificate against the problem instead \
+               of analyzing: every bound is re-derived offline (no \
+               optimizer runs) and cross-checked by the verifier's \
+               $(b,analyze/*) rules.")
+  in
+  let frontier_path =
+    Arg.(value & opt (some string) None & info [ "frontier" ] ~docv:"PATH"
+         ~doc:"With $(b,--audit), also load an exported frontier and \
+               cross-check the certified cost lower bound against every \
+               point (and the frontier itself via the $(b,pareto/*) \
+               rules).")
+  in
+  let term =
+    Term.(
+      const run_analyze $ Driver.obs_term $ Driver.target_term $ format
+      $ cert_path $ audit_path $ frontier_path)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Pre-flight feasibility analysis with certified lower bounds"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Derives necessary conditions every feasible design must \
+               satisfy — per-task WCET and re-execution-slack bounds \
+               against the deadline, the critical path and total work \
+               under per-process minimum WCETs, per-assignment \
+               reliability admissibility within the re-execution bound, \
+               and a cost lower bound — without running any optimizer.  \
+               Every violated condition is reported with a concrete \
+               witness and the command exits with status 3 (a proof of \
+               infeasibility); otherwise the derived bounds are printed \
+               and the design strategy may consume them as pruning \
+               oracles.";
+           `P "$(b,--cert) exports the analysis as a versioned JSON \
+               certificate; $(b,--audit) re-derives and cross-checks a \
+               previously exported certificate offline, exiting 3 when \
+               any claim fails to verify." ])
     Term.(term_result term)
 
 (* pareto *)
@@ -620,6 +795,6 @@ let () =
     (Driver.finish
        (Cmd.eval
           (Cmd.group info
-             [ optimize_cmd; pareto_cmd; generate_cmd; simulate_cmd;
-               experiment_cmd; profile_cmd; export_cmd; worst_case_cmd;
-               checkpoint_cmd; lint_cmd ])))
+             [ optimize_cmd; analyze_cmd; pareto_cmd; generate_cmd;
+               simulate_cmd; experiment_cmd; profile_cmd; export_cmd;
+               worst_case_cmd; checkpoint_cmd; lint_cmd ])))

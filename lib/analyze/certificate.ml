@@ -1,0 +1,61 @@
+module Problem = Ftes_model.Problem
+module Application = Ftes_model.Application
+
+type summary = {
+  name : string;
+  n_processes : int;
+  n_library : int;
+  deadline_ms : float;
+  period_ms : float;
+  gamma : float;
+  mu_ms : float;
+}
+
+type t = {
+  summary : summary;
+  kmax : int;
+  reexec : bool;
+  threshold : float;
+  budget : float;
+  min_wcets : float array;
+  kneed : int array array array;
+  task_min_length : float array;
+  task_cheapest : float array;
+  critical_path_ms : float;
+  critical_path : int list;
+  total_work_ms : float;
+  capacity_ms : float;
+  cost_lower_bound : float;
+  sfp_cost_lower_bound : float;
+  feasible : bool;
+  witnesses : Preflight.witness list;
+}
+
+let summary_of_problem problem =
+  let app = problem.Problem.app in
+  { name = app.Application.name;
+    n_processes = Problem.n_processes problem;
+    n_library = Problem.n_library problem;
+    deadline_ms = app.Application.deadline_ms;
+    period_ms = app.Application.period_ms;
+    gamma = app.Application.gamma;
+    mu_ms = app.Application.recovery_overhead_ms }
+
+let of_preflight (pf : Preflight.t) =
+  { summary = summary_of_problem pf.Preflight.problem;
+    kmax = pf.Preflight.kmax;
+    reexec = pf.Preflight.reexec;
+    threshold = pf.Preflight.threshold;
+    budget = pf.Preflight.budget;
+    min_wcets = pf.Preflight.min_wcets;
+    kneed = pf.Preflight.kneed;
+    task_min_length = pf.Preflight.task_min_length;
+    task_cheapest = pf.Preflight.task_cheapest;
+    critical_path_ms = pf.Preflight.critical_path_ms;
+    critical_path = pf.Preflight.critical_path;
+    total_work_ms = pf.Preflight.total_work_ms;
+    capacity_ms = pf.Preflight.capacity_ms;
+    cost_lower_bound = pf.Preflight.cost_lower_bound;
+    sfp_cost_lower_bound = pf.Preflight.sfp_cost_lower_bound;
+    feasible = Preflight.feasible pf;
+    witnesses = pf.Preflight.witnesses }

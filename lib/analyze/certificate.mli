@@ -1,0 +1,47 @@
+(** Machine-checkable record of one pre-flight analysis.
+
+    A certificate freezes every bound {!Preflight.run} derived together
+    with the premises it derived them under (the problem summary, the
+    re-execution cap, the slack-policy bucket, the admissibility
+    budget), so an offline checker can re-derive the analysis from the
+    problem alone and compare field by field — the [analyze/*] rules of
+    [Ftes_verify] do exactly that.  The payload is pure data: loading a
+    certificate never recomputes anything. *)
+
+type summary = {
+  name : string;
+  n_processes : int;
+  n_library : int;
+  deadline_ms : float;
+  period_ms : float;
+  gamma : float;
+  mu_ms : float;
+}
+(** Identifying premises of the analyzed problem; the audit refuses to
+    check a certificate against a problem with a different shape. *)
+
+type t = {
+  summary : summary;
+  kmax : int;
+  reexec : bool;
+  threshold : float;
+  budget : float;
+  min_wcets : float array;
+  kneed : int array array array;
+  task_min_length : float array;  (** [infinity] encoded as JSON null. *)
+  task_cheapest : float array;  (** [infinity] encoded as JSON null. *)
+  critical_path_ms : float;
+  critical_path : int list;
+  total_work_ms : float;
+  capacity_ms : float;
+  cost_lower_bound : float;  (** [infinity] when a task witness fired. *)
+  sfp_cost_lower_bound : float;
+  feasible : bool;
+  witnesses : Preflight.witness list;
+}
+
+val of_preflight : Preflight.t -> t
+
+val summary_of_problem : Ftes_model.Problem.t -> summary
+(** The summary {!of_preflight} records — also what the audit expects
+    to find when checking a certificate against a problem. *)

@@ -1,0 +1,49 @@
+(** JSON (de)serialization of pre-flight certificates.
+
+    {v
+    {
+      "schema_version": 1,
+      "problem": { "name": "cc", "n_processes": 32, ... },
+      "premises": { "kmax": 12, "reexec": true,
+                    "threshold": ..., "budget": ... },
+      "bounds": { "critical_path_ms": ..., "critical_path": [...],
+                  "total_work_ms": ..., "capacity_ms": ...,
+                  "cost_lower_bound": ...,
+                  "sfp_cost_lower_bound": ... },
+      "tasks": [ { "min_wcet_ms": ..., "min_length_ms": ...,
+                   "cheapest_cost": ..., "kneed": [[...], ...] }, ... ],
+      "feasible": true,
+      "witnesses": [ { "kind": "critical-path", ... }, ... ]
+    }
+    v}
+
+    Unbounded values ([infinity], meaning "no admissible assignment")
+    are encoded as JSON [null].
+
+    {2 Versioning}
+
+    Mirrors {!Ftes_model.Problem_io}: writers stamp {!schema_version}
+    (currently 1); readers accept version 1, treat a document without
+    the field as the deprecated v0 format (same payload, deprecation
+    reported through [on_warning]) and reject any other version. *)
+
+val schema_version : int
+
+val to_json : Certificate.t -> Ftes_util.Json.t
+
+val of_json :
+  ?on_warning:(string -> unit) ->
+  Ftes_util.Json.t ->
+  (Certificate.t, string) result
+
+val to_string : Certificate.t -> string
+
+val of_string :
+  ?on_warning:(string -> unit) -> string -> (Certificate.t, string) result
+
+val save : string -> Certificate.t -> unit
+(** Write to a file (overwrites). *)
+
+val load :
+  ?on_warning:(string -> unit) -> string -> (Certificate.t, string) result
+(** Read and parse a file; I/O errors are reported as [Error]. *)

@@ -50,6 +50,9 @@ let c_pruned = Ftes_obs.Metrics.counter "strategy.pruned"
 
 let c_runs = Ftes_obs.Metrics.counter "strategy.runs"
 
+let c_pruned_architectures =
+  Ftes_obs.Metrics.counter "analyze.pruned_architectures"
+
 (* The Fig. 5 walk, parameterized over a feasible-candidate hook.  The
    hook fires once per feasible result surfaced by an evaluated
    architecture (the schedule-length winner first, then the cost-refined
@@ -58,7 +61,8 @@ let c_runs = Ftes_obs.Metrics.counter "strategy.runs"
    parallel walk only during the ordered batch merge — never from a
    speculative worker — so the hook sees the exact same sequence whatever
    the domain count. *)
-let search ?pool ?cache ~config ~on_feasible problem =
+let search ?pool ?cache ?preflight ~config ~on_feasible problem =
+  Option.iter (Redundancy_opt.validate_preflight ~config problem) preflight;
   let lib = Problem.n_library problem in
   (* An externally supplied cache lets several runs over the same
      problem (e.g. a hardening-policy sweep) share evaluations; it must
@@ -78,14 +82,31 @@ let search ?pool ?cache ~config ~on_feasible problem =
      evaluate speculatively and replay the bookkeeping during the
      ordered merge. *)
   let evaluate_architecture members =
+    (* Pre-flight short-circuit: when the report proves every mapping
+       onto this architecture unreliable or over-deadline, the whole
+       tabu search would only ever see futile probes — [`Unschedulable]
+       without running it, so the Fig. 5 line-15 size jump fires
+       identically. *)
+    let provably_dead =
+      match preflight with
+      | None -> false
+      | Some pf -> (
+          match Ftes_analyze.Preflight.architecture_check pf ~members with
+          | `Feasible -> false
+          | `Unreliable _ | `Deadline _ ->
+              Ftes_obs.Metrics.incr c_pruned_architectures;
+              true)
+    in
+    if provably_dead then `Unschedulable
+    else
     match
-      Mapping_opt.run ?cache ?pool ~config
+      Mapping_opt.run ?cache ?pool ?preflight ~config
         ~objective:Mapping_opt.Schedule_length problem ~members
     with
     | None -> `Unschedulable
     | Some sl_result ->
         let refined =
-          Mapping_opt.run ?cache ?pool ~config
+          Mapping_opt.run ?cache ?pool ?preflight ~config
             ~objective:Mapping_opt.Architecture_cost
             ~initial:sl_result.Redundancy_opt.design.Design.mapping problem
             ~members
@@ -225,11 +246,11 @@ let finalize ~config ~cache ~explored problem (result : Redundancy_opt.result)
     explored;
     certificate }
 
-let run ?pool ?cache ~config problem =
+let run ?pool ?cache ?preflight ~config problem =
   Ftes_obs.Metrics.incr c_runs;
   Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
   let best, explored, cache =
-    search ?pool ?cache ~config ~on_feasible:(fun _ -> ()) problem
+    search ?pool ?cache ?preflight ~config ~on_feasible:(fun _ -> ()) problem
   in
   Option.map (finalize ~config ~cache ~explored problem) best
 
@@ -239,7 +260,7 @@ type frontier = {
   explored : int;
 }
 
-let run_frontier ?pool ?cache ?spec ~config problem =
+let run_frontier ?pool ?cache ?preflight ?spec ~config problem =
   Ftes_obs.Metrics.incr c_runs;
   Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
   let archive = Archive.create ?spec () in
@@ -250,7 +271,9 @@ let run_frontier ?pool ?cache ?spec ~config problem =
         slack = r.Redundancy_opt.slack;
         margin = r.Redundancy_opt.margin }
   in
-  let best, explored, cache = search ?pool ?cache ~config ~on_feasible problem in
+  let best, explored, cache =
+    search ?pool ?cache ?preflight ~config ~on_feasible problem
+  in
   { archive;
     best = Option.map (finalize ~config ~cache ~explored problem) best;
     explored }

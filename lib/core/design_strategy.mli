@@ -30,6 +30,7 @@ val architectures_by_speed : Ftes_model.Problem.t -> n:int -> int array list
 val run :
   ?pool:Ftes_par.Pool.t ->
   ?cache:Redundancy_opt.cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   solution option
@@ -51,7 +52,19 @@ val run :
     hardening-policy sweep, for which candidate evaluations coincide
     (probe outcomes are segregated by policy inside the cache).  The
     configs of all sharing runs must agree except in
-    {!Config.t.hardening}. *)
+    {!Config.t.hardening}.
+
+    [preflight] enables pre-flight pruning throughout the walk:
+    architectures the report proves unreliable or over-deadline
+    short-circuit to unschedulable without a mapping search (counted by
+    [analyze.pruned_architectures], with the size jump of Fig. 5
+    line 15 firing as it would have), and the report forwards to every
+    hardening probe (see {!Redundancy_opt.run}).  All tests are
+    one-sided proofs, so the solution, schedule, [explored] count and —
+    under {!run_frontier} — the archive are bit-identical to an
+    unpruned walk.  Raises [Invalid_argument] when the report was
+    derived for a different problem, [kmax] or slack-policy bucket
+    than the config's. *)
 
 type frontier = {
   archive : Ftes_pareto.Archive.t;
@@ -67,6 +80,7 @@ type frontier = {
 val run_frontier :
   ?pool:Ftes_par.Pool.t ->
   ?cache:Redundancy_opt.cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   ?spec:Ftes_pareto.Archive.spec ->
   config:Config.t ->
   Ftes_model.Problem.t ->

@@ -28,6 +28,7 @@ val initial_mapping :
 val run :
   ?cache:Redundancy_opt.cache ->
   ?pool:Ftes_par.Pool.t ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   config:Config.t ->
   objective:objective ->
   ?initial:int array ->
@@ -47,4 +48,6 @@ val run :
     [pool] scores the moves of one iteration concurrently.  Both leave
     the returned solution bit-identical to the sequential, uncached
     search: moves are evaluated on private copies of the mapping and
-    merged back in move order. *)
+    merged back in move order.  [preflight] forwards to every
+    {!Redundancy_opt.probe}, skipping hardening vectors the report
+    proves futile — likewise without changing any result. *)

@@ -73,10 +73,22 @@ type eval_stats = { hits : int; misses : int; fresh : int }
 val eval_stats : unit -> eval_stats
 (** Process-wide counters, aggregated over every {!cache} instance. *)
 
+val validate_preflight :
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  Ftes_analyze.Preflight.t ->
+  unit
+(** Raises [Invalid_argument] unless the report was derived for exactly
+    this problem (physical equality) under the config's [kmax] and
+    slack-policy bucket — the premises its pruning oracles are sound
+    under.  {!run} / {!probe} apply it to their [preflight] argument;
+    {!Design_strategy} applies it once up front. *)
+
 val reset_eval_stats : unit -> unit
 
 val run :
   ?cache:cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
@@ -84,10 +96,22 @@ val run :
 (** [run ~config problem design] uses [design]'s members and mapping;
     its levels and reexecs fields are ignored (replaced by the search).
     Returns [None] when no hardening vector allowed by the policy makes
-    the application both schedulable and reliable. *)
+    the application both schedulable and reliable.
+
+    [preflight] enables pre-flight pruning: hardening vectors whose
+    outcome the report already decides — the reliability goal provably
+    unreachable on some member, or (during reduction and under the
+    fixed policies) a member's schedule-length lower bound provably
+    beyond the deadline — are skipped without evaluation, counted by
+    [analyze.pruned_assignments].  Both tests are one-sided, so the
+    result is bit-identical with or without the report.  Raises
+    [Invalid_argument] when the report was derived for a different
+    problem, or under a [kmax] or slack-policy bucket other than the
+    config's. *)
 
 val probe :
   ?cache:cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->
@@ -95,10 +119,12 @@ val probe :
 (** [probe ~config problem design] is [(run ..., best-effort length)]
     computed in a single escalation pass; the tabu mapping search uses
     the length to rank unschedulable mappings and the result to track
-    schedulable ones. *)
+    schedulable ones.  [preflight] prunes as in {!run} (deadness only
+    where a candidate's length still matters). *)
 
 val best_effort_length :
   ?cache:cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   Ftes_model.Design.t ->

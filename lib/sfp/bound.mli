@@ -33,3 +33,43 @@ val required_k_scan : float array -> budget:float -> kmax:int -> int option
 val is_sound : float array -> k:int -> bool
 (** [is_sound p ~k] checks the defining inequality against the exact
     analysis — used by the test-suite, exported for convenience. *)
+
+(** {2 Exact-analysis admissibility}
+
+    The closed-form bound above over-approximates the exceedance, so it
+    can only prove a re-execution count {e sufficient} — never that an
+    assignment is dead.  Exclusion arguments (the pre-flight analyzer of
+    {!Ftes_analyze}, the optimizer's pruning) therefore run on the exact
+    grain-rounded analysis of {!Sfp} instead, through the two entries
+    below. *)
+
+val admissible_budget : kmax:int -> Ftes_model.Application.t -> float
+(** {!Sfp.max_admissible_failure} widened by the analysis slop: the
+    pessimistic grain rounding can inflate a computed exceedance by up
+    to one grain per rounded term (at most [2 * (kmax + 2)] of them),
+    and the reliability check itself contributes a few ulps through its
+    [pow]/product chain.  Any node of a design that meets the
+    reliability goal with [k <= kmax] re-executions has a computed
+    exceedance within this budget — so an assignment whose exceedance
+    exceeds it is provably dead, and the least [k] within it
+    lower-bounds any feasible re-execution count. *)
+
+val required_k_exact : float array -> budget:float -> kmax:int -> int option
+(** [required_k_exact p ~budget ~kmax] is the smallest [k <= kmax]
+    whose {e exact} exceedance {!Sfp.pr_exceeds} does not exceed
+    [budget], if any ([None] means even [kmax] re-executions leave the
+    node above the budget).  The rounded exceedance is exactly
+    non-increasing in [k] (the recovery partial sums only grow and the
+    directed rounding is monotone), so the answer is bisected. *)
+
+val cost_lower_bound : ?kmax:int -> Ftes_model.Problem.t -> float
+(** A reliability-only lower bound on the cost of any feasible
+    architecture: every process must be hosted by some node whose
+    hardening level admits the reliability goal within [kmax]
+    (default {!Sfp.default_kmax}) re-executions, so the architecture
+    pays at least the cheapest such h-version for the most demanding
+    process — [max] over processes of [min] over admissible [(j, h)] of
+    [Cjh].  Admissibility is {!required_k_exact} at
+    {!admissible_budget}, which never excludes a workable assignment.
+    Returns [infinity] when some process has no admissible pair (no
+    feasible design exists at all). *)

@@ -5,6 +5,7 @@ type requires =
   | Needs_sfp_tables
   | Needs_metrics
   | Needs_archive
+  | Needs_certificate
 
 type t = {
   id : string;
@@ -25,3 +26,4 @@ let applicable subject t =
       subject.Subject.design <> None && subject.Subject.sfp_tables <> None
   | Needs_metrics -> subject.Subject.metrics <> None
   | Needs_archive -> subject.Subject.archive <> None
+  | Needs_certificate -> subject.Subject.certificate <> None

@@ -10,6 +10,9 @@ type requires =
       (** skipped unless the subject carries a metrics snapshot. *)
   | Needs_archive
       (** skipped unless the subject carries a Pareto archive. *)
+  | Needs_certificate
+      (** skipped unless the subject carries a pre-flight
+          certificate. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

@@ -14,12 +14,13 @@ type t = {
   metrics : Ftes_obs.Metrics.snapshot option;
   archive : Ftes_pareto.Archive.t option;
   opt_cost : float option;
+  certificate : Ftes_analyze.Certificate.t option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
     bus = Bus.Fcfs; sfp_tables = None; metrics = None; archive = None;
-    opt_cost = None }
+    opt_cost = None; certificate = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
@@ -38,3 +39,5 @@ let with_metrics t snapshot = { t with metrics = Some snapshot }
 
 let with_archive ?opt_cost t archive =
   { t with archive = Some archive; opt_cost }
+
+let with_certificate t certificate = { t with certificate = Some certificate }

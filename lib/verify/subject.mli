@@ -28,6 +28,10 @@ type t = {
       (** the single-objective OPT cost {!Ftes_core.Design_strategy}
           found for the same problem and config, when known — enables
           the [pareto/min-cost] cross-check. *)
+  certificate : Ftes_analyze.Certificate.t option;
+      (** a pre-flight analysis certificate to audit against the
+          subject's problem (and, when present, its design / archive /
+          OPT cost), enabling the [analyze/*] rules. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -57,3 +61,8 @@ val with_archive : ?opt_cost:float -> t -> Ftes_pareto.Archive.t -> t
     cost), enabling the [pareto/*] rules.  The subject's [slack] and
     [bus] must be the policies the frontier was explored under: the
     feasibility rules re-derive each point's schedule against them. *)
+
+val with_certificate : t -> Ftes_analyze.Certificate.t -> t
+(** Attach a pre-flight certificate, enabling the [analyze/*] audit
+    rules — they re-derive the whole analysis from the subject's
+    problem and compare it against the certificate's claims. *)
