@@ -580,6 +580,192 @@ let analyze_cmd =
                any claim fails to verify." ])
     Term.(term_result term)
 
+(* exact *)
+
+module Bnb = Ftes_bnb.Bnb
+module Bnb_certificate = Ftes_analyze.Bnb_certificate
+module Bnb_certificate_io = Ftes_analyze.Bnb_certificate_io
+
+let exact_counters_json (c : Bnb_certificate.counters) =
+  let int name v = (name, Json.Number (float_of_int v)) in
+  Json.Object
+    [ int "expanded" c.Bnb_certificate.expanded;
+      int "closed" c.Bnb_certificate.closed;
+      int "evaluated" c.Bnb_certificate.evaluated;
+      int "pruned_cost" c.Bnb_certificate.pruned_cost;
+      int "pruned_arch" c.Bnb_certificate.pruned_arch;
+      int "pruned_symmetry" c.Bnb_certificate.pruned_symmetry;
+      int "pruned_levels" c.Bnb_certificate.pruned_levels;
+      int "pruned_mappings" c.Bnb_certificate.pruned_mappings ]
+
+let exact_cost_json v =
+  if Float.is_finite v then Json.Number v else Json.Null
+
+let exact_text source strategy (cert : Bnb_certificate.t) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let cost v =
+    if Float.is_finite v then Printf.sprintf "%.2f" v else "unbounded"
+  in
+  add "exact %s (strategy %s)\n" source strategy;
+  let c = cert.Bnb_certificate.counters in
+  add "search space    %.0f candidates, %d fully evaluated\n"
+    cert.Bnb_certificate.search_space c.Bnb_certificate.evaluated;
+  add
+    "pruned          %d cost / %d infeasible / %d symmetry subtrees, %d \
+     level vectors, %d mappings\n"
+    c.Bnb_certificate.pruned_cost c.Bnb_certificate.pruned_arch
+    c.Bnb_certificate.pruned_symmetry c.Bnb_certificate.pruned_levels
+    c.Bnb_certificate.pruned_mappings;
+  add "heuristic cost  %s\n" (cost cert.Bnb_certificate.heuristic_cost);
+  add "optimal cost    %s (proven)\n" (cost cert.Bnb_certificate.optimal_cost);
+  (match Bnb_certificate.gap cert with
+  | Some gap -> add "optimality gap  %.2f%% of the optimum\n" (100.0 *. gap)
+  | None -> ());
+  (match cert.Bnb_certificate.incumbent with
+  | Some i ->
+      add "schedule        %.2f ms worst case\n"
+        i.Bnb_certificate.schedule_length_ms;
+      add "verdict: optimal design proven (certificate carries %d prune \
+           premises)\n"
+        (List.length cert.Bnb_certificate.prunes)
+  | None ->
+      add "verdict: provably infeasible — the certified search closed the \
+           whole design space without a feasible candidate\n");
+  Buffer.contents b
+
+let exact_json ~source ~strategy (cert : Bnb_certificate.t) report =
+  Driver.report_json ~source ~strategy
+    [ ("feasible", Json.Bool (cert.Bnb_certificate.incumbent <> None));
+      ("optimal_cost", exact_cost_json cert.Bnb_certificate.optimal_cost);
+      ("heuristic_cost", exact_cost_json cert.Bnb_certificate.heuristic_cost);
+      ( "gap",
+        match Bnb_certificate.gap cert with
+        | Some g -> Json.Number g
+        | None -> Json.Null );
+      ("counters", exact_counters_json cert.Bnb_certificate.counters);
+      ("certificate", Bnb_certificate_io.to_json cert);
+      ("report", Report.to_json report) ]
+
+let run_exact_audit problem config format ~source ~strategy ~cert_path =
+  match Bnb_certificate_io.load cert_path with
+  | Error e -> fail "--audit %s: %s" cert_path e
+  | Ok cert ->
+      let subject =
+        Subject.with_bnb_certificate
+          { (Subject.of_problem problem) with
+            Subject.slack = config.Config.slack;
+            bus = config.Config.bus }
+          cert
+      in
+      let report = Verify.run subject in
+      (match format with
+      | `Json ->
+          print_endline
+            (Json.to_string
+               (Driver.report_json ~source ~strategy
+                  [ ("certificate", Json.String cert_path);
+                    ("report", Report.to_json report) ]))
+      | `Text ->
+          Printf.printf "audit %s against %s (strategy %s)\n" cert_path
+            source strategy;
+          print_string (Report.to_text report));
+      if not (Report.ok report) then
+        Driver.request_exit Driver.Lint_failure;
+      Ok ()
+
+let run_exact obs target format limit cert_path audit_path =
+  Driver.with_problem ~aggregate_spans:true obs target (fun problem config ->
+      let source = Driver.target_source target in
+      let strategy = target.Driver.strategy in
+      match audit_path with
+      | Some cert_path ->
+          run_exact_audit problem config format ~source ~strategy ~cert_path
+      | None -> (
+          (* The proof is the point: always self-audit the emitted
+             certificate, whatever the strategy's certify default. *)
+          let config = { config with Config.certify = true } in
+          match Bnb.solve ?limit ~config problem with
+          | exception Bnb.Budget_exhausted n ->
+              fail
+                "candidate budget exhausted after %d full evaluations \
+                 (raise --limit); no optimality claim is made"
+                n
+          | outcome ->
+              let cert = outcome.Bnb.certificate in
+              let report =
+                match outcome.Bnb.audit with
+                | Some report -> report
+                | None -> assert false (* certify is set above *)
+              in
+              (match cert_path with
+              | Some path ->
+                  Bnb_certificate_io.save path cert;
+                  Printf.eprintf "wrote %s\n%!" path
+              | None -> ());
+              (match format with
+              | `Json ->
+                  print_endline
+                    (Json.to_string (exact_json ~source ~strategy cert report))
+              | `Text ->
+                  print_string (exact_text source strategy cert);
+                  if not (Report.ok report) then
+                    print_string (Report.to_text report));
+              if not (Report.ok report) then
+                Driver.request_exit Driver.Lint_failure
+              else if outcome.Bnb.best = None then
+                Driver.request_exit Driver.Infeasible;
+              Ok ()))
+
+let exact_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+         ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+         ~doc:"Abort (with an error, not a weaker claim) after $(docv) \
+               full candidate evaluations.")
+  in
+  let cert_path =
+    Arg.(value & opt (some string) None & info [ "cert" ] ~docv:"PATH"
+         ~doc:"Write the optimality certificate to $(docv).")
+  in
+  let audit_path =
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"PATH"
+         ~doc:"Audit an existing optimality certificate against the \
+               problem instead of searching: the incumbent is re-costed, \
+               re-scheduled and re-checked against the reliability goal, \
+               every prune premise is re-derived, and the premises must \
+               tile the architecture lattice ($(b,bnb/*) rules).")
+  in
+  let term =
+    Term.(
+      const run_exact $ Driver.obs_term $ Driver.target_term $ format
+      $ limit $ cert_path $ audit_path)
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:"Prove the optimal hardening design by branch-and-bound"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs the exact best-first branch-and-bound over \
+               architectures, hardening levels and mappings, seeded with \
+               the greedy walk of the selected strategy, and reports the \
+               proven optimum together with the heuristic's optimality \
+               gap.  Every pruned subtree leaves a re-derivable premise \
+               in a machine-checkable certificate, which is audited \
+               in-process by the verifier's $(b,bnb/*) rules before \
+               anything is printed.";
+           `P "Exits with status 3 when the problem is proven infeasible \
+               (the certificate then covers the whole design space) or \
+               when any audit fails.  $(b,--cert) exports the \
+               certificate; $(b,--audit) re-checks a previously exported \
+               one offline without running the search." ])
+    Term.(term_result term)
+
 (* pareto *)
 
 module Archive = Ftes_pareto.Archive
@@ -797,4 +983,4 @@ let () =
           (Cmd.group info
              [ optimize_cmd; analyze_cmd; pareto_cmd; generate_cmd;
                simulate_cmd; experiment_cmd; profile_cmd; export_cmd;
-               worst_case_cmd; checkpoint_cmd; lint_cmd ])))
+               worst_case_cmd; checkpoint_cmd; lint_cmd; exact_cmd ])))

@@ -249,3 +249,70 @@ let architecture_check t ~members =
       let work = Array.fold_left ( +. ) 0.0 min_t in
       let lb = Float.max !worst_len (Float.max cp (work /. float_of_int m)) in
       if overruns lb ~deadline:t.deadline_ms then `Deadline lb else `Feasible
+
+(* Two library nodes are interchangeable exactly when every table the
+   rest of the stack ever reads agrees: same number of h-versions and,
+   per version, the same cost and the same WCET / failure-probability
+   column over the processes.  Equality is on the float values (never
+   NaN in a validated problem), so interchangeable nodes produce
+   bit-identical schedules, SFP verdicts and costs. *)
+let node_key problem j =
+  let n = Problem.n_processes problem in
+  List.init (Problem.levels problem j) (fun l ->
+      let level = l + 1 in
+      ( Problem.cost problem ~node:j ~level,
+        List.init n (fun proc ->
+            ( Problem.wcet problem ~node:j ~level ~proc,
+              Problem.pfail problem ~node:j ~level ~proc )) ))
+
+let canonical_nodes problem =
+  let keys = Array.init (Problem.n_library problem) (node_key problem) in
+  Array.init (Array.length keys) (fun j ->
+      let rec find j' = if keys.(j') = keys.(j) then j' else find (j' + 1) in
+      find 0)
+
+let completion_cost_lower_bound t ~prefix ~first_open =
+  let problem = t.problem in
+  let lib = Problem.n_library problem in
+  if first_open < 0 || first_open > lib then
+    invalid_arg "Preflight.completion_cost_lower_bound: first_open out of range";
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= first_open || (i > 0 && j <= prefix.(i - 1)) then
+        invalid_arg
+          "Preflight.completion_cost_lower_bound: prefix must be strictly \
+           increasing below first_open")
+    prefix;
+  let n = Problem.n_processes problem in
+  let admissible p j h = t.kneed.(p).(j).(h - 1) >= 0 in
+  let node_admits p j =
+    let levels = Problem.levels problem j in
+    let rec go h = h <= levels && (admissible p j h || go (h + 1)) in
+    go 1
+  in
+  (* Every chosen member contributes at least its cheapest h-version;
+     a process no chosen member can host within the reliability budget
+     forces at least one more node, admissible for it, from the still
+     addable suffix — its cost is bounded by the cheapest admissible
+     h-version there, and one node may serve every such process, hence
+     the max. *)
+  let base =
+    Array.fold_left
+      (fun acc j -> acc +. Problem.min_cost problem ~node:j)
+      0.0 prefix
+  in
+  let extra = ref 0.0 in
+  for p = 0 to n - 1 do
+    if not (Array.exists (node_admits p) prefix) then begin
+      let cheapest = ref infinity in
+      for j = first_open to lib - 1 do
+        for h = 1 to Problem.levels problem j do
+          if admissible p j h then
+            cheapest :=
+              Float.min !cheapest (Problem.cost problem ~node:j ~level:h)
+        done
+      done;
+      extra := Float.max !extra !cheapest
+    end
+  done;
+  base +. !extra

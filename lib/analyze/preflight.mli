@@ -143,3 +143,26 @@ val architecture_check :
     policy) provably exceeds the deadline.  Either verdict implies the
     mapping/hardening search over this architecture cannot produce a
     schedulable and reliable design. *)
+
+val canonical_nodes : Ftes_model.Problem.t -> int array
+(** [canonical_nodes problem] maps every library node to the smallest
+    node with exactly the same tables — same number of h-versions and,
+    per version, equal cost, WCET column and failure-probability column
+    (float equality; interchangeable nodes therefore yield bit-identical
+    schedules and SFP verdicts).  [canonical.(j) = j] when [j] is the
+    first of its identity class.  The exact search ({!Ftes_bnb}) keeps
+    only architectures whose chosen members form a prefix of each class;
+    the [bnb/*] audit re-derives the classes through this function. *)
+
+val completion_cost_lower_bound :
+  t -> prefix:int array -> first_open:int -> float
+(** Lower bound on the architecture cost of any reliability-feasible
+    design whose members include all of [prefix] plus, optionally, nodes
+    [>= first_open]: each chosen member costs at least its cheapest
+    h-version, and a process that no member of [prefix] can host within
+    the re-execution budget ({!t.kneed}) forces one more node admissible
+    for it from the open suffix.  [infinity] when some process is
+    admissible nowhere in [prefix] or the suffix — no completion can
+    meet the reliability goal.  Raises [Invalid_argument] unless
+    [prefix] is strictly increasing with entries below [first_open]
+    and [0 <= first_open <= n_library]. *)

@@ -69,6 +69,17 @@ let iter_levels problem members f =
   in
   loop ()
 
+(* The incumbent comparison shared with the exact branch-and-bound:
+   strictly cheaper wins, a cost tie (within the float crumb budget)
+   breaks towards the strictly shorter schedule. *)
+let better ~best (cost, sl) =
+  match best with
+  | None -> true
+  | Some (r : Redundancy_opt.result) ->
+      cost < r.Redundancy_opt.cost -. 1e-9
+      || (Float.abs (cost -. r.Redundancy_opt.cost) <= 1e-9
+          && sl < r.Redundancy_opt.schedule_length -. 1e-9)
+
 let run ?pool ?(limit = 2_000_000) ~config problem =
   let space = search_space problem in
   if space > float_of_int limit then
@@ -80,14 +91,6 @@ let run ?pool ?(limit = 2_000_000) ~config problem =
   in
   let n = Problem.n_processes problem in
   let d = deadline problem in
-  let better ~best (cost, sl) =
-    match best with
-    | None -> true
-    | Some (r : Redundancy_opt.result) ->
-        cost < r.Redundancy_opt.cost -. 1e-9
-        || (Float.abs (cost -. r.Redundancy_opt.cost) <= 1e-9
-            && sl < r.Redundancy_opt.schedule_length -. 1e-9)
-  in
   (* Fold one architecture subset, starting from [init].  Pruning a
      level vector whose cost cannot beat the incumbent is sound because
      [better (cost, sl)] implies [better (cost, 0.0)] (schedule lengths

@@ -15,6 +15,32 @@
 val search_space : Ftes_model.Problem.t -> float
 (** Approximate number of (architecture, levels, mapping) candidates. *)
 
+(** {2 Enumeration building blocks}
+
+    The exact branch-and-bound ({!Ftes_bnb}) reuses these so its
+    candidate space — and the order ties are broken in — is the same
+    as the reference enumeration's, by construction. *)
+
+val subsets : int -> int array list
+(** All non-empty subsets of [0 .. lib-1], each as a strictly
+    increasing array, in the enumeration order of {!run}. *)
+
+val iter_levels :
+  Ftes_model.Problem.t -> int array -> (int array -> unit) -> unit
+(** Odometer over the hardening-level vectors (1-based, bounded by
+    each member's available h-versions) of one architecture.  The
+    callback receives the same mutable array every time. *)
+
+val iter_mappings : n:int -> m:int -> (int array -> unit) -> unit
+(** Odometer over every function [0..n) -> [0..m).  The callback
+    receives the same mutable array every time. *)
+
+val better :
+  best:Redundancy_opt.result option -> float * float -> bool
+(** [better ~best (cost, sl)] — the incumbent comparison of {!run}:
+    strictly cheaper (beyond the 1e-9 crumb budget) wins, a cost tie
+    breaks towards a strictly shorter schedule. *)
+
 val run :
   ?pool:Ftes_par.Pool.t ->
   ?limit:int ->

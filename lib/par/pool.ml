@@ -71,15 +71,7 @@ let c_busy_ns = Ftes_obs.Metrics.counter "pool.busy_ns"
 
 let c_maps = Ftes_obs.Metrics.counter "pool.parallel_maps"
 
-let run_tasks ~workers ~n exec =
-  (* Block-distribute the indices: worker [w] owns the contiguous slice
-     [w*n/workers, (w+1)*n/workers), which keeps owner pops cache-local
-     and makes steals grab from the far end of another block. *)
-  let deques =
-    Array.init workers (fun w ->
-        let lo = w * n / workers and hi = (w + 1) * n / workers in
-        Deque.of_tasks (Array.init (hi - lo) (fun i -> lo + i)))
-  in
+let run_deques ~workers deques exec =
   let failure = Atomic.make None in
   let record_failure e bt =
     ignore (Atomic.compare_and_set failure None (Some (e, bt)))
@@ -136,6 +128,35 @@ let run_tasks ~workers ~n exec =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
+let run_tasks ~workers ~n exec =
+  (* Block-distribute the indices: worker [w] owns the contiguous slice
+     [w*n/workers, (w+1)*n/workers), which keeps owner pops cache-local
+     and makes steals grab from the far end of another block. *)
+  let deques =
+    Array.init workers (fun w ->
+        let lo = w * n / workers and hi = (w + 1) * n / workers in
+        Deque.of_tasks (Array.init (hi - lo) (fun i -> lo + i)))
+  in
+  run_deques ~workers deques exec
+
+(* Deal the indices round-robin by descending weight so every worker
+   starts on one of the heaviest tasks; within a worker's deque the
+   heavier tasks sit at the bottom end (popped first), so the tail of
+   the run is made of cheap tasks — the stragglers that decide the
+   wall-clock are the short ones. *)
+let weighted_deques ~workers weights =
+  let n = Array.length weights in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare weights.(b) weights.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let lists = Array.make workers [] in
+  Array.iteri (fun i task -> lists.(i mod workers) <- task :: lists.(i mod workers)) order;
+  Array.map (fun tasks -> Deque.of_tasks (Array.of_list tasks)) lists
+
 let map_array ?(pool = sequential) f xs =
   let n = Array.length xs in
   let workers = min pool.domains n in
@@ -157,6 +178,27 @@ let map ?pool f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | xs -> Array.to_list (map_array ?pool f (Array.of_list xs))
+
+let map_weighted ?(pool = sequential) ~weight f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let workers = min pool.domains n in
+  if workers <= 1 || Domain.DLS.get inside_worker then List.map f xs
+  else begin
+    Ftes_obs.Metrics.incr c_maps;
+    Ftes_obs.Metrics.add c_tasks n;
+    (* Weights are taken before any parallelism starts, in input order,
+       so the schedule hint can never feed back into the results. *)
+    let weights = Array.map weight arr in
+    let results = Array.make n None in
+    run_deques ~workers
+      (weighted_deques ~workers weights)
+      (fun i -> results.(i) <- Some (f arr.(i)));
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* run_deques re-raises before we get here *))
+  end
 
 let map_reduce ?pool ~map:f ~combine ~init xs =
   List.fold_left combine init (map ?pool f xs)

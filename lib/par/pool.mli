@@ -53,6 +53,16 @@ val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array variant of {!map}, same ordering and exception contract. *)
 
+val map_weighted :
+  ?pool:t -> weight:('a -> float) -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} with a scheduling hint: elements with larger [weight] are
+    started first, dealt round-robin over the workers, so one huge task
+    discovered last can no longer serialize the tail of the run.
+    [weight] is called once per element, in input order, before any
+    parallelism starts.  Results are returned in input order; for a
+    pure [f] the output is [List.map f xs] regardless of the weights —
+    they only shape the wall clock. *)
+
 val map_reduce :
   ?pool:t -> map:('a -> 'b) -> combine:('c -> 'b -> 'c) -> init:'c ->
   'a list -> 'c

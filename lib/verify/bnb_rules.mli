@@ -1,0 +1,16 @@
+(** Offline audit of {!Ftes_analyze.Bnb_certificate} optimality
+    certificates.
+
+    Each rule re-derives its claim from the subject's problem under the
+    certificate's recorded [kmax] and the subject's slack / bus policies
+    — nothing from the certificate feeds its own check.  The incumbent
+    is re-validated, re-costed, re-scheduled and re-checked against the
+    reliability goal; every prune premise is re-derived through the
+    {!Ftes_analyze.Preflight} oracles; and the closed architectures
+    plus the premises must tile the architecture lattice exactly once,
+    so no part of the design space can have been silently dropped.
+
+    Rule ids: [bnb/schema], [bnb/incumbent], [bnb/prune-premise],
+    [bnb/coverage], [bnb/optimal]. *)
+
+val all : Rule.t list

@@ -6,6 +6,7 @@ type requires =
   | Needs_metrics
   | Needs_archive
   | Needs_certificate
+  | Needs_bnb_certificate
 
 type t = {
   id : string;
@@ -27,3 +28,4 @@ let applicable subject t =
   | Needs_metrics -> subject.Subject.metrics <> None
   | Needs_archive -> subject.Subject.archive <> None
   | Needs_certificate -> subject.Subject.certificate <> None
+  | Needs_bnb_certificate -> subject.Subject.bnb_certificate <> None

@@ -13,6 +13,9 @@ type requires =
   | Needs_certificate
       (** skipped unless the subject carries a pre-flight
           certificate. *)
+  | Needs_bnb_certificate
+      (** skipped unless the subject carries a branch-and-bound
+          optimality certificate. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

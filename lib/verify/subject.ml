@@ -15,12 +15,13 @@ type t = {
   archive : Ftes_pareto.Archive.t option;
   opt_cost : float option;
   certificate : Ftes_analyze.Certificate.t option;
+  bnb_certificate : Ftes_analyze.Bnb_certificate.t option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
     bus = Bus.Fcfs; sfp_tables = None; metrics = None; archive = None;
-    opt_cost = None; certificate = None }
+    opt_cost = None; certificate = None; bnb_certificate = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
@@ -41,3 +42,6 @@ let with_archive ?opt_cost t archive =
   { t with archive = Some archive; opt_cost }
 
 let with_certificate t certificate = { t with certificate = Some certificate }
+
+let with_bnb_certificate t certificate =
+  { t with bnb_certificate = Some certificate }

@@ -32,6 +32,12 @@ type t = {
       (** a pre-flight analysis certificate to audit against the
           subject's problem (and, when present, its design / archive /
           OPT cost), enabling the [analyze/*] rules. *)
+  bnb_certificate : Ftes_analyze.Bnb_certificate.t option;
+      (** a branch-and-bound optimality certificate to audit, enabling
+          the [bnb/*] rules.  The subject's [slack] and [bus] must be
+          the policies the search ran under: the incumbent is
+          re-scheduled and the prune premises re-derived against
+          them. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -66,3 +72,9 @@ val with_certificate : t -> Ftes_analyze.Certificate.t -> t
 (** Attach a pre-flight certificate, enabling the [analyze/*] audit
     rules — they re-derive the whole analysis from the subject's
     problem and compare it against the certificate's claims. *)
+
+val with_bnb_certificate : t -> Ftes_analyze.Bnb_certificate.t -> t
+(** Attach a branch-and-bound optimality certificate, enabling the
+    [bnb/*] audit rules.  Set the subject's [slack] and [bus] to the
+    search's policies first (e.g. through a record update on
+    {!of_problem} / {!of_design}). *)

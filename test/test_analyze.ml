@@ -34,18 +34,7 @@ let with_deadline_factor problem factor =
   Problem.make ~app:scaled ~library:problem.Problem.library
 
 (* Toy instances small enough for [Exhaustive.run]. *)
-let small_problem ?(n = 5) seed =
-  let params =
-    { Ftes_gen.Workload.default_params with
-      Ftes_gen.Workload.n_library = 2;
-      levels = 3 }
-  in
-  let spec =
-    Ftes_gen.Workload.generate_spec ~params ~seed ~index:0 ~n_processes:n ()
-  in
-  Ftes_gen.Workload.problem_of_spec ~params
-    { Ftes_gen.Workload.ser = 1e-10; hpd = 0.5 }
-    spec
+let small_problem ?(n = 5) seed = Helpers.small_problem ~n seed
 
 (* --- analyzer verdicts --- *)
 

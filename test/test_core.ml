@@ -474,18 +474,7 @@ let test_checkpoint_validation () =
 
 module Exhaustive = Ftes_core.Exhaustive
 
-let small_problem seed =
-  let params =
-    { Ftes_gen.Workload.default_params with
-      Ftes_gen.Workload.n_library = 2;
-      levels = 3 }
-  in
-  let spec =
-    Ftes_gen.Workload.generate_spec ~params ~seed ~index:0 ~n_processes:6 ()
-  in
-  Ftes_gen.Workload.problem_of_spec ~params
-    { Ftes_gen.Workload.ser = 1e-10; hpd = 0.5 }
-    spec
+let small_problem seed = Helpers.small_problem ~n:6 seed
 
 let test_exhaustive_search_space () =
   let problem = small_problem 1 in

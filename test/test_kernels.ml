@@ -49,24 +49,11 @@ let schedule_eq (a : Schedule.t) (b : Schedule.t) =
   && farray_eq a.node_worst b.node_worst
   && feq a.length b.length
 
-let random_design prng problem =
-  let m = Problem.n_library problem in
-  let members = Array.init m Fun.id in
-  let levels =
-    Array.map (fun j -> 1 + Prng.int prng (Problem.levels problem j)) members
-  in
-  let reexecs = Array.init m (fun _ -> Prng.int prng 4) in
-  let n = Task_graph.n (Problem.graph problem) in
-  let mapping = Array.init n (fun _ -> Prng.int prng m) in
-  Design.make problem ~members ~levels ~reexecs ~mapping
+let random_design = Helpers.random_design
 
-let bus_policies = [ Bus.Fcfs; Bus.Tdma { slot_ms = 2.0 } ]
+let bus_policies = Helpers.bus_policies
 
-let slack_policies prng n =
-  [ Scheduler.Shared; Scheduler.Conservative; Scheduler.Dedicated;
-    Scheduler.Per_process (Array.init n (fun _ -> Prng.int prng 3));
-    Scheduler.Checkpointed
-      { kappa = Array.init n (fun _ -> 1 + Prng.int prng 3); save_ms = 0.2 } ]
+let slack_policies = Helpers.slack_policies
 
 let prop_heap_schedule_matches_reference =
   QCheck.Test.make ~count:30

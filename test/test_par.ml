@@ -37,6 +37,17 @@ let prop_map_array =
       let f x = x lxor 0x2a in
       Pool.map_array ~pool:pool3 f xs = Array.map f xs)
 
+let prop_map_weighted =
+  QCheck.Test.make ~count:50
+    ~name:"Pool.map_weighted f = List.map f (weights only shape wall clock)"
+    QCheck.(pair (small_list int) (int_bound 2))
+    (fun (xs, extra) ->
+      let pool = Pool.create ~domains:(1 + extra) () in
+      let f x = (x * 7) - (x * x) in
+      (* Adversarial weights: negative, tied and non-monotonic. *)
+      let weight x = float_of_int ((x mod 5) - 2) in
+      Pool.map_weighted ~pool ~weight f xs = List.map f xs)
+
 let prop_map_reduce =
   QCheck.Test.make ~count:50
     ~name:"Pool.map_reduce folds mapped results in input order"
@@ -223,6 +234,7 @@ let () =
     [ ("pool",
        [ q prop_map_is_list_map;
          q prop_map_array;
+         q prop_map_weighted;
          q prop_map_reduce;
          Alcotest.test_case "exception propagation" `Quick test_map_exception;
          Alcotest.test_case "map_seeded invariant across domain counts"

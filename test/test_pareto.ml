@@ -379,10 +379,8 @@ let test_frontier_parallel_identical () =
           Alcotest.(check int)
             (name ^ ": explored")
             seq.Design_strategy.explored par.Design_strategy.explored)
-        [ ("fcfs", Bus.Fcfs); ("tdma", Bus.Tdma { slot_ms = 2.0 }) ])
-    [ ("shared", Scheduler.Shared);
-      ("conservative", Scheduler.Conservative);
-      ("dedicated", Scheduler.Dedicated) ]
+        Helpers.named_bus_policies)
+    Helpers.named_slack_policies
 
 (* --- Redundancy_opt result: slack and margin fields --- *)
 
