@@ -1,11 +1,10 @@
 (* Shared plumbing for the ftes subcommands.
 
-   Every command used to open with its own copy of the same match
-   pyramid (resolve the problem, resolve the strategy, run the design
-   strategy, handle infeasibility); those live here once, along with
-   the observability options (--trace / --metrics / --seed) that every
-   subcommand accepts and the typed exit codes the driver maps to
-   process statuses. *)
+   The request lifecycle itself — typed exit codes, the observability
+   finalizer, problem/strategy resolution, the report envelope — lives
+   in Ftes_driver (shared with the resident daemon); this module only
+   keeps the cmdliner terms and the thin glue that is genuinely
+   CLI-shaped. *)
 
 open Cmdliner
 
@@ -13,58 +12,35 @@ module Config = Ftes_core.Config
 module Design_strategy = Ftes_core.Design_strategy
 module Redundancy_opt = Ftes_core.Redundancy_opt
 module Problem_io = Ftes_model.Problem_io
-module Span = Ftes_obs.Span
-module Sink = Ftes_obs.Sink
-module Metrics = Ftes_obs.Metrics
-module Obs_report = Ftes_obs.Report
+module Lifecycle = Ftes_driver.Lifecycle
+module Request = Ftes_driver.Request
+module Exec = Ftes_driver.Exec
 
-(* --- typed exit codes --- *)
+(* --- typed exit codes (re-exported from the lifecycle) --- *)
 
 (* cmdliner owns 1/124/125 for CLI and internal errors; the driver's
-   own outcomes are typed here and mapped in one place.  [Lint_failure]
-   and [Infeasible] are requested (not [exit]ed) so that the
-   observability teardown — flushing --trace / --metrics files — still
-   runs.  Both map to status 3: "a check failed with a report", as
-   opposed to cmdliner's own 1/124/125. *)
-type exit_code = Success | Lint_failure | Infeasible
+   own outcomes are typed in Ftes_driver.Lifecycle and mapped in one
+   place.  [Lint_failure] and [Infeasible] are requested (not [exit]ed)
+   so that the observability teardown — flushing --trace / --metrics
+   files — still runs.  Both map to status 3: "a check failed with a
+   report", as opposed to cmdliner's own 1/124/125. *)
+type exit_code = Lifecycle.exit_code = Success | Lint_failure | Infeasible
 
-let int_of_exit_code = function
-  | Success -> 0
-  | Lint_failure | Infeasible -> 3
+let request_exit = Lifecycle.request_exit
 
-let pending = ref Success
-
-let request_exit code = pending := code
-
-let finish eval_code =
-  if eval_code <> 0 then eval_code else int_of_exit_code !pending
+let finish = Lifecycle.finish
 
 let fail fmt = Printf.ksprintf (fun s -> Error (`Msg s)) fmt
 
-(* --- JSON report envelope --- *)
+(* --- JSON report envelope (now shared with the daemon) --- *)
 
-(* Shared by every subcommand that prints a machine-readable report
-   (lint, analyze): a versioned envelope naming the subject and the
-   strategy, with command-specific fields appended. *)
-let report_schema_version = 1
-
-let report_json ~source ~strategy fields =
-  Ftes_util.Json.Object
-    (( "schema_version",
-       Ftes_util.Json.Number (float_of_int report_schema_version) )
-     :: ("subject", Ftes_util.Json.String source)
-     :: ("strategy", Ftes_util.Json.String strategy)
-     :: fields)
+let report_json = Exec.report_json
 
 (* --- problem & strategy resolution --- *)
 
-let problem_of_example = function
-  | "fig1" -> Ok (Ftes_cc.Fig_examples.fig1_problem ())
-  | "fig3" -> Ok (Ftes_cc.Fig_examples.fig3_problem ())
-  | "cc" | "cruise-control" -> Ok (Ftes_cc.Cruise_control.problem ())
-  | other ->
-      Error
-        (Printf.sprintf "unknown example %S (try fig1, fig3, cc)" other)
+let problem_of_example = Request.problem_of_example
+
+let config_of_strategy = Request.config_of_strategy
 
 type target = { file : string option; example : string; strategy : string }
 
@@ -80,16 +56,28 @@ let resolve_problem target =
   | Some path -> Problem_io.load path
   | None -> problem_of_example target.example
 
-let config_of_strategy = function
-  | "opt" -> Ok Config.default
-  | "min" -> Ok Config.min_strategy
-  | "max" -> Ok Config.max_strategy
-  | other ->
-      Error (Printf.sprintf "unknown strategy %S (try opt, min, max)" other)
+(* The request the subcommand is about to execute on the shared
+   Ftes_driver.Exec path, carrying the CLI's own subject spelling
+   (file path or example:NAME). *)
+let request_of target command problem config =
+  { Request.id = "cli";
+    command;
+    strategy = target.strategy;
+    config;
+    problem;
+    origin =
+      (match target.file with
+      | Some _ -> `Inline
+      | None -> `Example target.example);
+    source = target_source target }
 
 (* --- terms --- *)
 
-type obs = { seed : int; trace : string option; metrics : string option }
+type obs = Lifecycle.obs = {
+  seed : int;
+  trace : string option;
+  metrics : string option;
+}
 
 let obs_term =
   let seed =
@@ -139,21 +127,10 @@ let target_term =
 (* Install the requested sinks for the duration of [f], then restore
    the defaults and flush the files — also on exceptions and on
    [request_exit]ed failures, which is why commands must never call
-   [Stdlib.exit] themselves. *)
-let with_observability ?(aggregate_spans = false) obs f =
-  let trace_oc = Option.map open_out obs.trace in
-  let sink =
-    match trace_oc with Some oc -> Sink.jsonl oc | None -> Sink.null
-  in
-  Span.configure ~sink ~aggregate:(aggregate_spans || obs.metrics <> None) ();
-  Fun.protect
-    ~finally:(fun () ->
-      Span.disable ();
-      (match obs.metrics with
-      | Some path -> Obs_report.write_metrics_csv path (Metrics.snapshot ())
-      | None -> ());
-      Option.iter close_out trace_oc)
-    f
+   [Stdlib.exit] themselves.  Owned by the lifecycle finalizer so the
+   daemon and the CLI flush identically. *)
+let with_observability ?aggregate_spans obs f =
+  Lifecycle.with_observability ?aggregate_spans obs f
 
 (* --- command skeletons --- *)
 

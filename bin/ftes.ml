@@ -3,6 +3,7 @@
 
      ftes optimize   run MIN/MAX/OPT on a built-in problem
      ftes pareto     cost/slack/margin Pareto frontier of feasible designs
+     ftes serve      resident design-service daemon over JSONL
      ftes generate   generate a synthetic application
      ftes simulate   fault-injection campaign on an optimized design
      ftes experiment reproduce a figure/table of the paper
@@ -12,7 +13,8 @@
 
    Every subcommand accepts --trace FILE (JSONL span trace),
    --metrics FILE (CSV metrics snapshot) and --seed; the shared
-   plumbing lives in Cli_driver. *)
+   plumbing lives in Cli_driver, and the execute/certify/report path
+   itself in Ftes_driver (shared with the daemon). *)
 
 open Cmdliner
 
@@ -22,43 +24,156 @@ module Design_strategy = Ftes_core.Design_strategy
 module Redundancy_opt = Ftes_core.Redundancy_opt
 module Workload = Ftes_gen.Workload
 module Driver = Cli_driver
+module Request = Ftes_driver.Request
+module Response = Ftes_driver.Response
+module Exec = Ftes_driver.Exec
+module Daemon = Ftes_driver.Daemon
 
 let fail = Driver.fail
 
+let format_term =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+       ~doc:"Report format: $(b,text) or $(b,json).")
+
+(* Finish one shared-path execution: surface the outcome's verdict as
+   the CLI's typed exit status (status 3 for proven-infeasible and
+   lint failures — requested, not exited, so --trace/--metrics still
+   flush). *)
+let request_outcome_exit outcome =
+  match Response.exit_of_verdict (Exec.verdict outcome) with
+  | Driver.Success -> ()
+  | code -> Driver.request_exit code
+
 (* optimize *)
 
-let run_optimize obs target gantt =
-  Driver.with_solution obs target
-    ~on_none:(fun _problem config ->
-      Printf.printf "%s: no schedulable & reliable design found\n"
-        (Config.policy_name config.Config.hardening);
-      Ok ())
-    (fun problem config s ->
-      Format.printf "%a@." Ftes_model.Problem.pp problem;
-      let design = Driver.solution_design s in
-      Printf.printf "%s solution (explored %d architectures):\n"
-        (Config.policy_name config.Config.hardening)
-        s.Design_strategy.explored;
-      Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
-      Printf.printf "schedule length %.2f ms; reliability %.11f (goal %.6f)\n"
-        s.Design_strategy.result.Redundancy_opt.schedule_length
-        s.Design_strategy.verdict.Ftes_sfp.Sfp.reliability_per_hour
-        s.Design_strategy.verdict.Ftes_sfp.Sfp.goal;
-      if gantt then
-        print_string
-          (Ftes_sched.Schedule.to_gantt problem design
-             s.Design_strategy.schedule);
-      Ok ())
+let run_optimize obs target format gantt =
+  match format with
+  | `Json ->
+      (* The shared Ftes_driver.Exec path: the payload printed here is
+         byte-identical to the daemon's for the same request. *)
+      Driver.with_problem obs target (fun problem config ->
+          let req = Driver.request_of target Request.Optimize problem config in
+          let outcome = Exec.run req in
+          print_endline (Ftes_util.Json.to_string (Exec.payload req outcome));
+          request_outcome_exit outcome;
+          Ok ())
+  | `Text ->
+      Driver.with_solution obs target
+        ~on_none:(fun _problem config ->
+          Printf.printf "%s: no schedulable & reliable design found\n"
+            (Config.policy_name config.Config.hardening);
+          Ok ())
+        (fun problem config s ->
+          Format.printf "%a@." Ftes_model.Problem.pp problem;
+          let design = Driver.solution_design s in
+          Printf.printf "%s solution (explored %d architectures):\n"
+            (Config.policy_name config.Config.hardening)
+            s.Design_strategy.explored;
+          Format.printf "%a@." (fun ppf () -> Design.pp ppf problem design) ();
+          Printf.printf
+            "schedule length %.2f ms; reliability %.11f (goal %.6f)\n"
+            s.Design_strategy.result.Redundancy_opt.schedule_length
+            s.Design_strategy.verdict.Ftes_sfp.Sfp.reliability_per_hour
+            s.Design_strategy.verdict.Ftes_sfp.Sfp.goal;
+          if gantt then
+            print_string
+              (Ftes_sched.Schedule.to_gantt problem design
+                 s.Design_strategy.schedule);
+          Ok ())
 
 let optimize_cmd =
   let gantt =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print the static schedule.")
   in
   let term =
-    Term.(const run_optimize $ Driver.obs_term $ Driver.target_term $ gantt)
+    Term.(
+      const run_optimize $ Driver.obs_term $ Driver.target_term $ format_term
+      $ gantt)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a built-in problem with MIN/MAX/OPT")
+    Term.(term_result term)
+
+(* serve *)
+
+let run_serve obs batch max_problems audit =
+  Driver.with_observability obs (fun () ->
+      if batch < 1 then fail "--batch must be positive"
+      else if max_problems < 1 then fail "--max-problems must be positive"
+      else begin
+        let pool = Ftes_par.Pool.create () in
+        let caches = Daemon.create_caches ~max_problems () in
+        if audit then begin
+          let responses, report = Daemon.audit ~pool ~caches () in
+          Printf.printf "serve audit: %d responses\n" (List.length responses);
+          print_string (Ftes_verify.Report.to_text report);
+          if not (Ftes_verify.Report.ok report) then
+            Driver.request_exit Driver.Lint_failure;
+          Ok ()
+        end
+        else begin
+          let stats =
+            Daemon.serve ~pool ~caches ~max_batch:batch stdin stdout
+          in
+          Printf.eprintf
+            "serve: %d requests (%d failed) in %d batches; %d warm problem \
+             buckets (%d reuses)\n\
+             %!"
+            stats.Daemon.requests stats.Daemon.failed stats.Daemon.batches
+            (Daemon.cache_problems caches)
+            (Daemon.cache_hits caches);
+          Ok ()
+        end
+      end)
+
+let serve_cmd =
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N"
+         ~doc:"Answer requests in pool batches of up to $(docv) lines \
+               ($(b,1) = strict request-by-request streaming).")
+  in
+  let max_problems =
+    Arg.(value & opt int 64 & info [ "max-problems" ] ~docv:"N"
+         ~doc:"Retain warm evaluation caches for at most $(docv) distinct \
+               problem/policy buckets.")
+  in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+         ~doc:"Self-test instead of serving: drive a built-in mixed batch \
+               (including a malformed line) through the daemon path and \
+               certify the emitted response stream with the verifier's \
+               $(b,serve/*) rules; exits 3 on any failure.")
+  in
+  let term =
+    Term.(const run_serve $ Driver.obs_term $ batch $ max_problems $ audit)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Resident design service: JSONL requests in, certified JSONL \
+             responses out"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Reads one JSON request per line from standard input — a \
+               problem (inline document or built-in example) plus a \
+               command ($(b,analyze), $(b,optimize), $(b,exact), \
+               $(b,pareto)) and its strategy/policy options — executes \
+               them with bounded concurrency on the domain pool, and \
+               writes one JSON response envelope per request to standard \
+               output, in request order, each carrying the same certified \
+               payload the one-shot subcommand would print plus \
+               per-request telemetry (queue wait, wall time, cache \
+               counters).";
+           `P "Requests over the same problem and slack/bus/kmax policies \
+               share one evaluation cache, so a warm daemon answers \
+               repeated design questions far faster than one-shot runs — \
+               with bit-identical payloads (the bench enforces this).  \
+               Malformed or unknown-version lines produce a structured \
+               $(b,error) response; the daemon never dies on bad input.  \
+               Proven infeasibility is a per-response verdict here, not \
+               an exit status: the process exits 0 after EOF."; ])
     Term.(term_result term)
 
 (* generate *)
@@ -504,28 +619,27 @@ let run_analyze obs target format cert_path audit_path frontier_path =
           run_audit problem config format ~source ~strategy ~cert_path
             ~frontier_path
       | None ->
-          let pf =
-            Preflight.run ~kmax:config.Config.kmax ~slack:config.Config.slack
-              problem
+          (* The shared Ftes_driver.Exec path (same payload bytes as
+             the daemon). *)
+          let req = Driver.request_of target Request.Analyze problem config in
+          let outcome = Exec.run req in
+          let pf, cert =
+            match outcome with
+            | Exec.Analyzed { preflight; certificate } ->
+                (preflight, certificate)
+            | _ -> assert false
           in
-          let cert = Certificate.of_preflight pf in
           (match cert_path with
           | Some path ->
               Certificate_io.save path cert;
               Printf.eprintf "wrote %s\n%!" path
           | None -> ());
           (match format with
-          | `Json ->
-              print_endline
-                (Json.to_string
-                   (Driver.report_json ~source ~strategy
-                      [ ("feasible", Json.Bool (Preflight.feasible pf));
-                        ("analysis", Certificate_io.to_json cert) ]))
+          | `Json -> print_endline (Json.to_string (Exec.payload req outcome))
           | `Text -> print_string (analysis_text source strategy problem pf));
           (* Status 3 = proven infeasible, with the witnesses printed;
              requested, not exited, so --trace/--metrics still flush. *)
-          if not (Preflight.feasible pf) then
-            Driver.request_exit Driver.Infeasible;
+          request_outcome_exit outcome;
           Ok ())
 
 let analyze_cmd =
@@ -586,21 +700,6 @@ module Bnb = Ftes_bnb.Bnb
 module Bnb_certificate = Ftes_analyze.Bnb_certificate
 module Bnb_certificate_io = Ftes_analyze.Bnb_certificate_io
 
-let exact_counters_json (c : Bnb_certificate.counters) =
-  let int name v = (name, Json.Number (float_of_int v)) in
-  Json.Object
-    [ int "expanded" c.Bnb_certificate.expanded;
-      int "closed" c.Bnb_certificate.closed;
-      int "evaluated" c.Bnb_certificate.evaluated;
-      int "pruned_cost" c.Bnb_certificate.pruned_cost;
-      int "pruned_arch" c.Bnb_certificate.pruned_arch;
-      int "pruned_symmetry" c.Bnb_certificate.pruned_symmetry;
-      int "pruned_levels" c.Bnb_certificate.pruned_levels;
-      int "pruned_mappings" c.Bnb_certificate.pruned_mappings ]
-
-let exact_cost_json v =
-  if Float.is_finite v then Json.Number v else Json.Null
-
 let exact_text source strategy (cert : Bnb_certificate.t) =
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -633,19 +732,6 @@ let exact_text source strategy (cert : Bnb_certificate.t) =
       add "verdict: provably infeasible — the certified search closed the \
            whole design space without a feasible candidate\n");
   Buffer.contents b
-
-let exact_json ~source ~strategy (cert : Bnb_certificate.t) report =
-  Driver.report_json ~source ~strategy
-    [ ("feasible", Json.Bool (cert.Bnb_certificate.incumbent <> None));
-      ("optimal_cost", exact_cost_json cert.Bnb_certificate.optimal_cost);
-      ("heuristic_cost", exact_cost_json cert.Bnb_certificate.heuristic_cost);
-      ( "gap",
-        match Bnb_certificate.gap cert with
-        | Some g -> Json.Number g
-        | None -> Json.Null );
-      ("counters", exact_counters_json cert.Bnb_certificate.counters);
-      ("certificate", Bnb_certificate_io.to_json cert);
-      ("report", Report.to_json report) ]
 
 let run_exact_audit problem config format ~source ~strategy ~cert_path =
   match Bnb_certificate_io.load cert_path with
@@ -682,22 +768,25 @@ let run_exact obs target format limit cert_path audit_path =
       | Some cert_path ->
           run_exact_audit problem config format ~source ~strategy ~cert_path
       | None -> (
-          (* The proof is the point: always self-audit the emitted
-             certificate, whatever the strategy's certify default. *)
-          let config = { config with Config.certify = true } in
-          match Bnb.solve ?limit ~config problem with
+          (* The shared Ftes_driver.Exec path: certify is always on
+             there — the proof is the point — and the JSON payload is
+             byte-identical to the daemon's. *)
+          let req =
+            Driver.request_of target (Request.Exact { limit }) problem config
+          in
+          match Exec.run req with
           | exception Bnb.Budget_exhausted n ->
               fail
                 "candidate budget exhausted after %d full evaluations \
                  (raise --limit); no optimality claim is made"
                 n
           | outcome ->
-              let cert = outcome.Bnb.certificate in
-              let report =
-                match outcome.Bnb.audit with
-                | Some report -> report
-                | None -> assert false (* certify is set above *)
+              let bnb, report =
+                match outcome with
+                | Exec.Proved { outcome; report } -> (outcome, report)
+                | _ -> assert false
               in
+              let cert = bnb.Bnb.certificate in
               (match cert_path with
               | Some path ->
                   Bnb_certificate_io.save path cert;
@@ -705,16 +794,12 @@ let run_exact obs target format limit cert_path audit_path =
               | None -> ());
               (match format with
               | `Json ->
-                  print_endline
-                    (Json.to_string (exact_json ~source ~strategy cert report))
+                  print_endline (Json.to_string (Exec.payload req outcome))
               | `Text ->
                   print_string (exact_text source strategy cert);
                   if not (Report.ok report) then
                     print_string (Report.to_text report));
-              if not (Report.ok report) then
-                Driver.request_exit Driver.Lint_failure
-              else if outcome.Bnb.best = None then
-                Driver.request_exit Driver.Infeasible;
+              request_outcome_exit outcome;
               Ok ()))
 
 let exact_cmd =
@@ -772,22 +857,6 @@ module Archive = Ftes_pareto.Archive
 module Objective = Ftes_pareto.Objective
 module Frontier_io = Ftes_pareto.Frontier_io
 
-(* Worst-corner reference for the hypervolume indicator: every node at
-   its priciest hardening level plus one cost unit, zero slack, zero
-   margin — dominated by any design with actual headroom. *)
-let default_reference problem =
-  let lib = Ftes_model.Problem.n_library problem in
-  let total = ref 0.0 in
-  for j = 0 to lib - 1 do
-    let worst = ref 0.0 in
-    for level = 1 to Ftes_model.Problem.levels problem j do
-      worst :=
-        Float.max !worst (Ftes_model.Problem.cost problem ~node:j ~level)
-    done;
-    total := !total +. !worst
-  done;
-  { Archive.ref_cost = !total +. 1.0; ref_slack = 0.0; ref_margin = 0.0 }
-
 let write_text_file path text =
   let oc = open_out path in
   Fun.protect
@@ -796,7 +865,7 @@ let write_text_file path text =
       output_string oc text;
       output_char oc '\n')
 
-let run_pareto obs target eps objectives csv_path json_path ref_cost =
+let run_pareto obs target format eps objectives csv_path json_path ref_cost =
   Driver.with_problem obs target (fun problem config ->
       match Objective.parse_list objectives with
       | Error e -> fail "--objectives: %s" e
@@ -804,91 +873,83 @@ let run_pareto obs target eps objectives csv_path json_path ref_cost =
           if not (Float.is_finite eps) || eps < 0.0 then
             fail "--eps must be finite and non-negative"
           else begin
-            let spec = Archive.spec ~objectives ~eps () in
-            let frontier =
-              Design_strategy.run_frontier ~spec ~config problem
+            (* The shared Ftes_driver.Exec path runs the frontier and
+               self-certifies it with the pareto/* rules; the JSON
+               payload is byte-identical to the daemon's. *)
+            let req =
+              Driver.request_of target
+                (Request.Pareto { eps; objectives; ref_cost })
+                problem config
+            in
+            let outcome = Exec.run req in
+            let frontier, reference, report =
+              match outcome with
+              | Exec.Frontiered { frontier; reference; report } ->
+                  (frontier, reference, report)
+              | _ -> assert false
             in
             let archive = frontier.Design_strategy.archive in
-            let pts = Archive.points archive in
-            let stats = Archive.stats archive in
-            let reference =
-              let d = default_reference problem in
-              match ref_cost with
-              | Some c -> { d with Archive.ref_cost = c }
-              | None -> d
+            let wrote path =
+              match format with
+              | `Json -> Printf.eprintf "wrote %s\n%!" path
+              | `Text -> Printf.printf "wrote %s\n" path
             in
-            Printf.printf "pareto %s (strategy %s)\n"
-              (Driver.target_source target) target.Driver.strategy;
-            Printf.printf
-              "frontier: %d points over {%s} at eps %g (%d architectures \
-               explored)\n"
-              (List.length pts)
-              (Objective.names objectives)
-              eps frontier.Design_strategy.explored;
-            (match frontier.Design_strategy.best with
-            | Some s ->
+            (match format with
+            | `Json ->
+                print_endline (Json.to_string (Exec.payload req outcome))
+            | `Text ->
+                let pts = Archive.points archive in
+                let stats = Archive.stats archive in
+                Printf.printf "pareto %s (strategy %s)\n"
+                  (Driver.target_source target) target.Driver.strategy;
                 Printf.printf
-                  "cheapest: cost %.2f, schedule length %.2f ms, slack %.2f \
-                   ms, margin %.2f decades\n"
-                  s.Design_strategy.result.Redundancy_opt.cost
-                  s.Design_strategy.result.Redundancy_opt.schedule_length
-                  s.Design_strategy.result.Redundancy_opt.slack
-                  s.Design_strategy.result.Redundancy_opt.margin
-            | None -> print_string "no feasible design found\n");
-            Printf.printf
-              "archive: %d boxes (%d inserted, %d dominated, %d evicted)\n"
-              stats.Archive.boxes stats.Archive.inserted
-              stats.Archive.dominated stats.Archive.evicted;
-            let hv = Archive.hypervolume archive ~reference in
-            Printf.printf
-              "hypervolume vs (cost %.2f, slack %.2f ms, margin %.2f): %.6g\n"
-              reference.Archive.ref_cost reference.Archive.ref_slack
-              reference.Archive.ref_margin hv;
-            if pts <> [] then
-              print_string
-                (Ftes_util.Ascii_chart.scatter
-                   ~title:"frontier: architecture cost vs worst-case slack"
-                   ~x_label:"cost" ~y_label:"slack_ms"
-                   (List.map
-                      (fun (p : Archive.point) ->
-                        (p.Archive.cost, p.Archive.slack))
-                      pts));
+                  "frontier: %d points over {%s} at eps %g (%d architectures \
+                   explored)\n"
+                  (List.length pts)
+                  (Objective.names objectives)
+                  eps frontier.Design_strategy.explored;
+                (match frontier.Design_strategy.best with
+                | Some s ->
+                    Printf.printf
+                      "cheapest: cost %.2f, schedule length %.2f ms, slack \
+                       %.2f ms, margin %.2f decades\n"
+                      s.Design_strategy.result.Redundancy_opt.cost
+                      s.Design_strategy.result.Redundancy_opt.schedule_length
+                      s.Design_strategy.result.Redundancy_opt.slack
+                      s.Design_strategy.result.Redundancy_opt.margin
+                | None -> print_string "no feasible design found\n");
+                Printf.printf
+                  "archive: %d boxes (%d inserted, %d dominated, %d evicted)\n"
+                  stats.Archive.boxes stats.Archive.inserted
+                  stats.Archive.dominated stats.Archive.evicted;
+                let hv = Archive.hypervolume archive ~reference in
+                Printf.printf
+                  "hypervolume vs (cost %.2f, slack %.2f ms, margin %.2f): \
+                   %.6g\n"
+                  reference.Archive.ref_cost reference.Archive.ref_slack
+                  reference.Archive.ref_margin hv;
+                if pts <> [] then
+                  print_string
+                    (Ftes_util.Ascii_chart.scatter
+                       ~title:"frontier: architecture cost vs worst-case slack"
+                       ~x_label:"cost" ~y_label:"slack_ms"
+                       (List.map
+                          (fun (p : Archive.point) ->
+                            (p.Archive.cost, p.Archive.slack))
+                          pts));
+                if not (Report.ok report) then
+                  print_string (Report.to_text report));
             (match csv_path with
             | Some path ->
                 Ftes_util.Csv.write_file path (Frontier_io.to_csv archive);
-                Printf.printf "wrote %s\n" path
+                wrote path
             | None -> ());
             (match json_path with
             | Some path ->
                 write_text_file path (Frontier_io.to_string ~reference archive);
-                Printf.printf "wrote %s\n" path
+                wrote path
             | None -> ());
-            (* Self-certify the emitted frontier with the verifier's
-               pareto rules; the cheapest-point anchor only applies when
-               cost is among the objectives (otherwise the ε-grid is
-               free to coarsen the cost axis away). *)
-            let opt_cost =
-              if List.mem Objective.Cost objectives then
-                Option.map
-                  (fun (s : Design_strategy.solution) ->
-                    s.Design_strategy.result.Redundancy_opt.cost)
-                  frontier.Design_strategy.best
-              else None
-            in
-            let subject =
-              Subject.with_archive ?opt_cost
-                { (Subject.of_problem problem) with
-                  Subject.slack = config.Config.slack;
-                  bus = config.Config.bus }
-                archive
-            in
-            let report =
-              Verify.run ~rules:Ftes_verify.Pareto_rules.all subject
-            in
-            if not (Report.ok report) then begin
-              print_string (Report.to_text report);
-              Driver.request_exit Driver.Lint_failure
-            end;
+            request_outcome_exit outcome;
             Ok ()
           end)
 
@@ -920,8 +981,8 @@ let pareto_cmd =
   in
   let term =
     Term.(
-      const run_pareto $ Driver.obs_term $ Driver.target_term $ eps
-      $ objectives $ csv_path $ json_path $ ref_cost)
+      const run_pareto $ Driver.obs_term $ Driver.target_term $ format_term
+      $ eps $ objectives $ csv_path $ json_path $ ref_cost)
   in
   Cmd.v
     (Cmd.info "pareto"
@@ -981,6 +1042,6 @@ let () =
     (Driver.finish
        (Cmd.eval
           (Cmd.group info
-             [ optimize_cmd; analyze_cmd; pareto_cmd; generate_cmd;
+             [ optimize_cmd; analyze_cmd; pareto_cmd; serve_cmd; generate_cmd;
                simulate_cmd; experiment_cmd; profile_cmd; export_cmd;
                worst_case_cmd; checkpoint_cmd; lint_cmd; exact_cmd ])))

@@ -5,7 +5,7 @@ let schema_version = 1
 
 (* "no admissible assignment" bounds are [infinity] in memory; JSON has
    no infinities, so they travel as null. *)
-let opt_number x = if Float.is_finite x then Number x else Null
+let opt_number = Ftes_util.Versioned_json.opt_number
 
 let witness_to_json (w : Preflight.witness) =
   match w with
@@ -54,7 +54,7 @@ let to_json (c : Certificate.t) =
                   c.Certificate.kneed.(proc))) ) ]
   in
   Object
-    [ ("schema_version", Number (float_of_int schema_version));
+    [ Ftes_util.Versioned_json.field schema_version;
       ( "problem",
         Object
           [ ("name", String s.Certificate.name);
@@ -96,8 +96,7 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
-let opt_float json =
-  match json with Null -> Ok infinity | _ -> to_float json
+let opt_float = Ftes_util.Versioned_json.opt_float
 
 let int_list json =
   let* items = to_list json in
@@ -160,24 +159,8 @@ let default_warn msg = Printf.eprintf "certificate_io: warning: %s\n%!" msg
 
 let of_json ?(on_warning = default_warn) json =
   let* () =
-    match member "schema_version" json with
-    | Error _ ->
-        on_warning
-          (Printf.sprintf
-             "certificate has no \"schema_version\" field; reading it as \
-              the deprecated v0 format (re-export to upgrade to v%d)"
-             schema_version);
-        Ok ()
-    | Ok v -> (
-        match to_int v with
-        | Error e -> Error ("schema_version: " ^ e)
-        | Ok v when v = schema_version -> Ok ()
-        | Ok v ->
-            Error
-              (Printf.sprintf
-                 "unsupported certificate schema_version %d (this build \
-                  reads v%d)"
-                 v schema_version))
+    Ftes_util.Versioned_json.check ~what:"certificate" ~accept_v0:false
+      ~on_warning ~current:schema_version json
   in
   let* summary = Result.bind (member "problem" json) summary_of_json in
   let* premises = member "premises" json in

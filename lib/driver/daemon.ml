@@ -1,0 +1,227 @@
+module Json = Ftes_util.Json
+module Config = Ftes_core.Config
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Problem_io = Ftes_model.Problem_io
+module Scheduler = Ftes_sched.Scheduler
+module Bus = Ftes_sched.Bus
+module Pool = Ftes_par.Pool
+module Keyed_cache = Ftes_par.Keyed_cache
+module Sfp_cache = Ftes_par.Sfp_cache
+module Clock = Ftes_obs.Clock
+
+(* --- shared evaluation caches --- *)
+
+type caches = { evals : (string, Redundancy_opt.cache) Keyed_cache.t }
+
+let create_caches ?(max_problems = 64) () =
+  { evals = Keyed_cache.create ~max_entries:max_problems () }
+
+let cache_problems t = Keyed_cache.length t.evals
+
+let cache_hits t = Keyed_cache.hits t.evals
+
+let cache_misses t = Keyed_cache.misses t.evals
+
+(* A Redundancy_opt.cache may be shared by runs over the same problem
+   whose configs agree except in the hardening policy, so the bucket
+   key is (problem, slack, bus, kmax) with the strategy excluded.  The
+   problem travels as its minified v1 document — inline and built-in
+   spellings of the same instance land in the same bucket. *)
+let bucket_key (req : Request.t) =
+  let config = req.Request.config in
+  let slack =
+    match config.Config.slack with
+    | Scheduler.Shared -> Some "shared"
+    | Scheduler.Conservative -> Some "conservative"
+    | Scheduler.Dedicated -> Some "dedicated"
+    | Scheduler.Per_process _ | Scheduler.Checkpointed _ ->
+        (* Not wire-reachable; never share rather than mis-share. *)
+        None
+  in
+  Option.map
+    (fun slack ->
+      let bus =
+        match config.Config.bus with
+        | Bus.Fcfs -> "fcfs"
+        | Bus.Tdma { slot_ms } -> Printf.sprintf "tdma:%h" slot_ms
+      in
+      Printf.sprintf "%s|%s|%d|%s" slack bus config.Config.kmax
+        (Json.to_string ~minify:true (Problem_io.to_json req.Request.problem)))
+    slack
+
+let shared_cache caches (req : Request.t) =
+  match caches with
+  | None -> None
+  | Some t -> (
+      match req.Request.command with
+      | Request.Analyze | Request.Exact _ ->
+          (* No candidate evaluations to share. *)
+          None
+      | Request.Optimize | Request.Pareto _ ->
+          Option.map
+            (fun key ->
+              Keyed_cache.find_or_add t.evals key (fun () ->
+                  Redundancy_opt.create_cache ()))
+            (bucket_key req))
+
+(* --- one batch --- *)
+
+let best_effort_id line =
+  match Json.of_string line with
+  | Error _ -> ""
+  | Ok json -> (
+      match Result.bind (Json.member "id" json) Json.to_string_value with
+      | Ok id -> id
+      | Error _ -> "")
+
+let execute ?caches ~enqueued_ns line =
+  let started_ns = Clock.now_ns () in
+  let id, verdict, payload, error =
+    match Request.of_string ~on_warning:ignore line with
+    | Error msg -> (best_effort_id line, Response.Failed, Json.Object [], Some msg)
+    | Ok req -> (
+        match Exec.run ?cache:(shared_cache caches req) req with
+        | exception Ftes_bnb.Bnb.Budget_exhausted n ->
+            ( req.Request.id,
+              Response.Failed,
+              Json.Object [],
+              Some
+                (Printf.sprintf
+                   "candidate budget exhausted after %d full evaluations \
+                    (raise the limit); no optimality claim is made"
+                   n) )
+        | exception exn ->
+            ( req.Request.id,
+              Response.Failed,
+              Json.Object [],
+              Some (Printexc.to_string exn) )
+        | outcome ->
+            (req.Request.id, Exec.verdict outcome, Exec.payload req outcome, None))
+  in
+  let finished_ns = Clock.now_ns () in
+  ( id,
+    verdict,
+    payload,
+    error,
+    started_ns - enqueued_ns,
+    finished_ns - started_ns )
+
+let run_lines ?pool ?caches ?(telemetry = true) ?(first_seq = 0) lines =
+  let enqueued_ns = Clock.now_ns () in
+  let executed = Pool.map ?pool (execute ?caches ~enqueued_ns) lines in
+  (* One batch-end sample of the process-wide counters for every batch
+     member: completion order under the pool is unobservable, and the
+     counters stay monotone in seq across batches because they only
+     ever grow. *)
+  let sample =
+    if not telemetry then fun _ _ -> None
+    else begin
+      let totals = Sfp_cache.totals () in
+      let evals = Redundancy_opt.eval_stats () in
+      let problems =
+        match caches with Some t -> cache_problems t | None -> 0
+      in
+      fun queue_wait_ns wall_ns ->
+        Some
+          { Response.queue_wait_ns = max 0 queue_wait_ns;
+            wall_ns = max 0 wall_ns;
+            sfp_hits = totals.Sfp_cache.total_hits;
+            sfp_misses = totals.Sfp_cache.total_misses;
+            eval_hits = evals.Redundancy_opt.hits;
+            eval_misses = evals.Redundancy_opt.misses;
+            cache_problems = problems }
+    end
+  in
+  List.mapi
+    (fun i (id, verdict, payload, error, queue_wait_ns, wall_ns) ->
+      { Response.id;
+        seq = first_seq + i;
+        verdict;
+        payload;
+        error;
+        telemetry = sample queue_wait_ns wall_ns })
+    executed
+
+(* --- the loop --- *)
+
+type stats = { requests : int; failed : int; batches : int }
+
+let read_batch ic n =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match In_channel.input_line ic with
+      | None -> List.rev acc
+      | Some line -> go (n - 1) (line :: acc)
+  in
+  go n []
+
+let serve ?pool ?caches ?telemetry ?(max_batch = 16) ic oc =
+  if max_batch < 1 then invalid_arg "Daemon.serve: max_batch must be positive";
+  let rec loop stats seq =
+    match read_batch ic max_batch with
+    | [] -> stats
+    | lines ->
+        let responses =
+          run_lines ?pool ?caches ?telemetry ~first_seq:seq lines
+        in
+        List.iter
+          (fun r ->
+            output_string oc (Response.to_line r);
+            output_char oc '\n')
+          responses;
+        flush oc;
+        let failures =
+          List.length
+            (List.filter
+               (fun r -> r.Response.verdict = Response.Failed)
+               responses)
+        in
+        loop
+          { requests = stats.requests + List.length responses;
+            failed = stats.failed + failures;
+            batches = stats.batches + 1 }
+          (seq + List.length responses)
+  in
+  loop { requests = 0; failed = 0; batches = 0 } 0
+
+(* --- self-test --- *)
+
+let audit ?pool ?caches () =
+  let req id command example =
+    match Request.make ~id command (`Example example) with
+    | Ok r -> Request.to_string r
+    | Error e -> failwith ("Daemon.audit: " ^ e)
+  in
+  let lines =
+    [ req "audit-analyze" Request.Analyze "fig1";
+      req "audit-optimize" Request.Optimize "cc";
+      req "audit-pareto"
+        (Request.Pareto
+           { eps = 0.0;
+             objectives = Ftes_pareto.Objective.all;
+             ref_cost = None })
+        "fig1";
+      (* A deliberately malformed line: the audited stream must show
+         the daemon answering garbage with a structured error. *)
+      "{\"schema_version\": 1, \"id\": \"audit-bad\", \"command\": \
+       \"frobnicate\", \"example\": \"fig1\"}" ]
+  in
+  let responses = run_lines ?pool ?caches lines in
+  (* Audit the actual wire bytes, not the in-memory values: re-parse
+     each emitted line as the serve rules will see it. *)
+  let envelopes =
+    List.map
+      (fun r ->
+        match Json.of_string (Response.to_line r) with
+        | Ok json -> json
+        | Error e -> failwith ("Daemon.audit: unparseable response: " ^ e))
+      responses
+  in
+  let subject =
+    Ftes_verify.Subject.with_responses
+      (Ftes_verify.Subject.of_problem (Ftes_cc.Fig_examples.fig1_problem ()))
+      envelopes
+  in
+  ( responses,
+    Ftes_verify.Verify.run ~rules:Ftes_verify.Serve_rules.all subject )

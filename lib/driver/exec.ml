@@ -1,0 +1,237 @@
+module Json = Ftes_util.Json
+module Config = Ftes_core.Config
+module Design_strategy = Ftes_core.Design_strategy
+module Redundancy_opt = Ftes_core.Redundancy_opt
+module Preflight = Ftes_analyze.Preflight
+module Certificate = Ftes_analyze.Certificate
+module Certificate_io = Ftes_analyze.Certificate_io
+module Bnb = Ftes_bnb.Bnb
+module Bnb_certificate = Ftes_analyze.Bnb_certificate
+module Bnb_certificate_io = Ftes_analyze.Bnb_certificate_io
+module Archive = Ftes_pareto.Archive
+module Objective = Ftes_pareto.Objective
+module Frontier_io = Ftes_pareto.Frontier_io
+module Verify = Ftes_verify.Verify
+module Report = Ftes_verify.Report
+module Subject = Ftes_verify.Subject
+
+type outcome =
+  | Analyzed of {
+      preflight : Preflight.t;
+      certificate : Certificate.t;
+    }
+  | Optimized of { solution : Design_strategy.solution option }
+  | Proved of { outcome : Bnb.outcome; report : Report.t }
+  | Frontiered of {
+      frontier : Design_strategy.frontier;
+      reference : Archive.reference;
+      report : Report.t;
+    }
+
+(* --- JSON report envelope (moved from bin/cli_driver) --- *)
+
+(* Shared by every subcommand that prints a machine-readable report:
+   a versioned envelope naming the subject and the strategy, with
+   command-specific fields appended. *)
+let report_schema_version = 1
+
+let report_json ~source ~strategy fields =
+  Json.Object
+    (("schema_version", Json.Number (float_of_int report_schema_version))
+     :: ("subject", Json.String source)
+     :: ("strategy", Json.String strategy)
+     :: fields)
+
+(* Worst-corner reference for the hypervolume indicator: every node at
+   its priciest hardening level plus one cost unit, zero slack, zero
+   margin — dominated by any design with actual headroom. *)
+let default_reference problem =
+  let lib = Ftes_model.Problem.n_library problem in
+  let total = ref 0.0 in
+  for j = 0 to lib - 1 do
+    let worst = ref 0.0 in
+    for level = 1 to Ftes_model.Problem.levels problem j do
+      worst :=
+        Float.max !worst (Ftes_model.Problem.cost problem ~node:j ~level)
+    done;
+    total := !total +. !worst
+  done;
+  { Archive.ref_cost = !total +. 1.0; ref_slack = 0.0; ref_margin = 0.0 }
+
+(* --- execution --- *)
+
+let run ?cache (req : Request.t) =
+  let config = req.Request.config in
+  let problem = req.Request.problem in
+  match req.Request.command with
+  | Request.Analyze ->
+      let preflight =
+        Preflight.run ~kmax:config.Config.kmax ~slack:config.Config.slack
+          problem
+      in
+      Analyzed { preflight; certificate = Certificate.of_preflight preflight }
+  | Request.Optimize ->
+      (* Self-certify: the verifier report on the emitted triple is
+         part of the payload, so certify is always on here. *)
+      let config = Config.with_certify true config in
+      Optimized { solution = Design_strategy.run ?cache ~config problem }
+  | Request.Exact { limit } ->
+      (* The proof is the point: always self-audit the emitted
+         certificate, whatever the strategy's certify default.  The
+         exact search builds its own memo tables, so [cache] does not
+         apply. *)
+      let config = Config.with_certify true config in
+      let outcome = Bnb.solve ?limit ~config problem in
+      let report =
+        match outcome.Bnb.audit with
+        | Some report -> report
+        | None -> assert false (* certify is set above *)
+      in
+      Proved { outcome; report }
+  | Request.Pareto { eps; objectives; ref_cost } ->
+      let spec = Archive.spec ~objectives ~eps () in
+      let frontier = Design_strategy.run_frontier ?cache ~spec ~config problem in
+      let reference =
+        let d = default_reference problem in
+        match ref_cost with
+        | Some c -> { d with Archive.ref_cost = c }
+        | None -> d
+      in
+      (* Self-certify the emitted frontier with the verifier's pareto
+         rules; the cheapest-point anchor only applies when cost is
+         among the objectives (otherwise the ε-grid is free to coarsen
+         the cost axis away). *)
+      let opt_cost =
+        if List.mem Objective.Cost objectives then
+          Option.map
+            (fun (s : Design_strategy.solution) ->
+              s.Design_strategy.result.Redundancy_opt.cost)
+            frontier.Design_strategy.best
+        else None
+      in
+      let subject =
+        Subject.with_archive ?opt_cost
+          { (Subject.of_problem problem) with
+            Subject.slack = config.Config.slack;
+            bus = config.Config.bus }
+          frontier.Design_strategy.archive
+      in
+      let report = Verify.run ~rules:Ftes_verify.Pareto_rules.all subject in
+      Frontiered { frontier; reference; report }
+
+(* --- verdict --- *)
+
+let verdict = function
+  | Analyzed { preflight; _ } ->
+      if Preflight.feasible preflight then Response.Feasible
+      else Response.Infeasible
+  | Optimized { solution = None } -> Response.No_solution
+  | Optimized { solution = Some s } -> (
+      match s.Design_strategy.certificate with
+      | Some report when not (Report.ok report) -> Response.Lint_failure
+      | _ -> Response.Feasible)
+  | Proved { outcome; report } ->
+      if not (Report.ok report) then Response.Lint_failure
+      else if outcome.Bnb.best = None then Response.Infeasible
+      else Response.Feasible
+  | Frontiered { frontier; report; _ } ->
+      if not (Report.ok report) then Response.Lint_failure
+      else if frontier.Design_strategy.best = None then Response.No_solution
+      else Response.Feasible
+
+(* --- payload builders --- *)
+
+let ints_json a =
+  Json.List
+    (Array.to_list (Array.map (fun v -> Json.Number (float_of_int v)) a))
+
+let design_json (d : Ftes_model.Design.t) =
+  Json.Object
+    [ ("members", ints_json d.Ftes_model.Design.members);
+      ("levels", ints_json d.Ftes_model.Design.levels);
+      ("reexecs", ints_json d.Ftes_model.Design.reexecs);
+      ("mapping", ints_json d.Ftes_model.Design.mapping) ]
+
+let solution_fields (s : Design_strategy.solution) =
+  let r = s.Design_strategy.result in
+  let v = s.Design_strategy.verdict in
+  [ ("cost", Json.Number r.Redundancy_opt.cost);
+    ("schedule_length_ms", Json.Number r.Redundancy_opt.schedule_length);
+    ("slack_ms", Json.Number r.Redundancy_opt.slack);
+    ("margin_log10", Json.Number r.Redundancy_opt.margin);
+    ( "reliability_per_hour",
+      Json.Number v.Ftes_sfp.Sfp.reliability_per_hour );
+    ("goal", Json.Number v.Ftes_sfp.Sfp.goal);
+    ("design", design_json r.Redundancy_opt.design) ]
+
+let exact_counters_json (c : Bnb_certificate.counters) =
+  let int name v = (name, Json.Number (float_of_int v)) in
+  Json.Object
+    [ int "expanded" c.Bnb_certificate.expanded;
+      int "closed" c.Bnb_certificate.closed;
+      int "evaluated" c.Bnb_certificate.evaluated;
+      int "pruned_cost" c.Bnb_certificate.pruned_cost;
+      int "pruned_arch" c.Bnb_certificate.pruned_arch;
+      int "pruned_symmetry" c.Bnb_certificate.pruned_symmetry;
+      int "pruned_levels" c.Bnb_certificate.pruned_levels;
+      int "pruned_mappings" c.Bnb_certificate.pruned_mappings ]
+
+let exact_cost_json v = if Float.is_finite v then Json.Number v else Json.Null
+
+let payload (req : Request.t) outcome =
+  let source = req.Request.source in
+  let strategy = req.Request.strategy in
+  match outcome with
+  | Analyzed { preflight; certificate } ->
+      report_json ~source ~strategy
+        [ ("feasible", Json.Bool (Preflight.feasible preflight));
+          ("analysis", Certificate_io.to_json certificate) ]
+  | Optimized { solution = None } ->
+      report_json ~source ~strategy [ ("feasible", Json.Bool false) ]
+  | Optimized { solution = Some s } ->
+      report_json ~source ~strategy
+        (( "feasible", Json.Bool true )
+         :: ( "explored",
+              Json.Number (float_of_int s.Design_strategy.explored) )
+         :: solution_fields s
+        @
+        match s.Design_strategy.certificate with
+        | Some report -> [ ("report", Report.to_json report) ]
+        | None -> [])
+  | Proved { outcome; report } ->
+      let cert = outcome.Bnb.certificate in
+      report_json ~source ~strategy
+        [ ( "feasible",
+            Json.Bool (cert.Bnb_certificate.incumbent <> None) );
+          ("optimal_cost", exact_cost_json cert.Bnb_certificate.optimal_cost);
+          ( "heuristic_cost",
+            exact_cost_json cert.Bnb_certificate.heuristic_cost );
+          ( "gap",
+            match Bnb_certificate.gap cert with
+            | Some g -> Json.Number g
+            | None -> Json.Null );
+          ("counters", exact_counters_json cert.Bnb_certificate.counters);
+          ("certificate", Bnb_certificate_io.to_json cert);
+          ("report", Report.to_json report) ]
+  | Frontiered { frontier; reference; report } ->
+      let best =
+        match frontier.Design_strategy.best with
+        | None -> Json.Null
+        | Some s ->
+            let r = s.Design_strategy.result in
+            Json.Object
+              [ ("cost", Json.Number r.Redundancy_opt.cost);
+                ( "schedule_length_ms",
+                  Json.Number r.Redundancy_opt.schedule_length );
+                ("slack_ms", Json.Number r.Redundancy_opt.slack);
+                ("margin_log10", Json.Number r.Redundancy_opt.margin) ]
+      in
+      report_json ~source ~strategy
+        [ ( "feasible",
+            Json.Bool (frontier.Design_strategy.best <> None) );
+          ( "explored",
+            Json.Number (float_of_int frontier.Design_strategy.explored) );
+          ("best", best);
+          ( "frontier",
+            Frontier_io.to_json ~reference frontier.Design_strategy.archive );
+          ("report", Report.to_json report) ]

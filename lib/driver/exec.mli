@@ -1,0 +1,63 @@
+(** Execute one validated {!Request.t} — the single path behind both
+    the one-shot CLI subcommands and the daemon.
+
+    [run] produces a typed {!outcome} (so text frontends can render
+    freely); {!payload} renders the machine-readable JSON report — the
+    same bytes whether a CLI subcommand prints it or the daemon wraps
+    it in a response envelope — and {!verdict} maps the outcome onto
+    the response/exit-code semantics.
+
+    Every execution self-certifies: optimize attaches the full
+    verifier report of the emitted triple, exact audits its optimality
+    certificate, pareto runs the [pareto/*] rules over the frontier
+    archive.  A failed certification degrades the verdict to
+    {!Response.Lint_failure} — never to silence.
+
+    Determinism: given equal requests, [payload] is byte-identical
+    across runs regardless of [cache] (memoization is contractually
+    invisible, see {!Ftes_core.Redundancy_opt}) — the property the
+    serve tests and the bench fingerprint check enforce. *)
+
+type outcome =
+  | Analyzed of {
+      preflight : Ftes_analyze.Preflight.t;
+      certificate : Ftes_analyze.Certificate.t;
+    }
+  | Optimized of { solution : Ftes_core.Design_strategy.solution option }
+  | Proved of {
+      outcome : Ftes_bnb.Bnb.outcome;
+      report : Ftes_verify.Report.t;
+    }
+  | Frontiered of {
+      frontier : Ftes_core.Design_strategy.frontier;
+      reference : Ftes_pareto.Archive.reference;
+      report : Ftes_verify.Report.t;
+    }
+
+val run :
+  ?cache:Ftes_core.Redundancy_opt.cache -> Request.t -> outcome
+(** Execute the request.  [cache] shares SFP tables and candidate
+    evaluations with other runs over the same problem and policy
+    bucket (the daemon's cross-request warm cache); results are
+    bit-identical with or without it.  Raises
+    {!Ftes_bnb.Bnb.Budget_exhausted} when an exact request's
+    evaluation budget runs out — frontends turn that into an error
+    report / [Failed] response. *)
+
+val verdict : outcome -> Response.verdict
+
+val payload : Request.t -> outcome -> Ftes_util.Json.t
+(** The versioned JSON report of the outcome ([report_json] envelope:
+    [schema_version], [subject], [strategy], then command-specific
+    fields). *)
+
+val report_json :
+  source:string -> strategy:string -> (string * Ftes_util.Json.t) list ->
+  Ftes_util.Json.t
+(** The shared report envelope every machine-readable CLI report uses
+    (lint and audit reports included). *)
+
+val default_reference :
+  Ftes_model.Problem.t -> Ftes_pareto.Archive.reference
+(** Worst-corner hypervolume reference: every node at its priciest
+    hardening level plus one cost unit, zero slack, zero margin. *)

@@ -1,0 +1,268 @@
+module Json = Ftes_util.Json
+module Versioned_json = Ftes_util.Versioned_json
+module Config = Ftes_core.Config
+module Problem = Ftes_model.Problem
+module Problem_io = Ftes_model.Problem_io
+module Objective = Ftes_pareto.Objective
+module Scheduler = Ftes_sched.Scheduler
+module Bus = Ftes_sched.Bus
+
+let ( let* ) = Result.bind
+
+let schema_version = 1
+
+type command =
+  | Analyze
+  | Optimize
+  | Exact of { limit : int option }
+  | Pareto of {
+      eps : float;
+      objectives : Objective.t list;
+      ref_cost : float option;
+    }
+
+let command_name = function
+  | Analyze -> "analyze"
+  | Optimize -> "optimize"
+  | Exact _ -> "exact"
+  | Pareto _ -> "pareto"
+
+type t = {
+  id : string;
+  command : command;
+  strategy : string;
+  config : Config.t;
+  problem : Problem.t;
+  origin : [ `Example of string | `Inline ];
+  source : string;
+}
+
+(* --- problem & strategy resolution (moved from bin/cli_driver) --- *)
+
+let problem_of_example = function
+  | "fig1" -> Ok (Ftes_cc.Fig_examples.fig1_problem ())
+  | "fig3" -> Ok (Ftes_cc.Fig_examples.fig3_problem ())
+  | "cc" | "cruise-control" -> Ok (Ftes_cc.Cruise_control.problem ())
+  | other ->
+      Error
+        (Printf.sprintf "unknown example %S (try fig1, fig3, cc)" other)
+
+let config_of_strategy = function
+  | "opt" -> Ok Config.default
+  | "min" -> Ok Config.min_strategy
+  | "max" -> Ok Config.max_strategy
+  | other ->
+      Error (Printf.sprintf "unknown strategy %S (try opt, min, max)" other)
+
+(* --- policy spellings --- *)
+
+let slack_name = function
+  | Scheduler.Shared -> Ok "shared"
+  | Scheduler.Conservative -> Ok "conservative"
+  | Scheduler.Dedicated -> Ok "dedicated"
+  | Scheduler.Per_process _ | Scheduler.Checkpointed _ ->
+      Error "slack: only shared, conservative and dedicated travel on the wire"
+
+let slack_of_name = function
+  | "shared" -> Ok Scheduler.Shared
+  | "conservative" -> Ok Scheduler.Conservative
+  | "dedicated" -> Ok Scheduler.Dedicated
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown slack policy %S (try shared, conservative, dedicated)"
+           other)
+
+let bus_to_json = function
+  | Bus.Fcfs -> Json.String "fcfs"
+  | Bus.Tdma { slot_ms } ->
+      Json.Object [ ("tdma", Json.Object [ ("slot_ms", Json.Number slot_ms) ]) ]
+
+let bus_of_json = function
+  | Json.String "fcfs" -> Ok Bus.Fcfs
+  | Json.String other ->
+      Error
+        (Printf.sprintf
+           "unknown bus policy %S (try \"fcfs\" or {\"tdma\": {\"slot_ms\": \
+            ...}})"
+           other)
+  | Json.Object _ as json ->
+      let* tdma = Json.member "tdma" json in
+      let* slot_ms = Result.bind (Json.member "slot_ms" tdma) Json.to_float in
+      if Float.is_finite slot_ms && slot_ms > 0.0 then
+        Ok (Bus.Tdma { slot_ms })
+      else Error "bus: tdma slot_ms must be finite and positive"
+  | _ -> Error "bus: expected a string or an object"
+
+(* --- optional-field helpers --- *)
+
+let optional key json decode =
+  match Json.member key json with
+  | Error _ -> Ok None
+  | Ok v ->
+      let* v = decode v in
+      Ok (Some v)
+
+(* --- parsing --- *)
+
+let command_of_json name json =
+  match name with
+  | "analyze" -> Ok Analyze
+  | "optimize" -> Ok Optimize
+  | "exact" ->
+      let* limit = optional "limit" json Json.to_int in
+      (match limit with
+      | Some n when n < 1 -> Error "limit must be positive"
+      | _ -> Ok (Exact { limit }))
+  | "pareto" ->
+      let* eps = optional "eps" json Json.to_float in
+      let eps = Option.value ~default:0.0 eps in
+      if not (Float.is_finite eps) || eps < 0.0 then
+        Error "eps must be finite and non-negative"
+      else
+        let* objectives =
+          optional "objectives" json (fun v ->
+              let* s = Json.to_string_value v in
+              Objective.parse_list s)
+        in
+        let objectives = Option.value ~default:Objective.all objectives in
+        let* ref_cost = optional "ref_cost" json Json.to_float in
+        Ok (Pareto { eps; objectives; ref_cost })
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown command %S (try analyze, optimize, exact, pareto)" other)
+
+let of_json ?on_warning json =
+  let* () =
+    Versioned_json.check ~what:"request" ~accept_v0:true ?on_warning
+      ~current:schema_version json
+  in
+  let* id = Result.bind (Json.member "id" json) Json.to_string_value in
+  if id = "" then Error "id must be a non-empty string"
+  else
+    let* name = Result.bind (Json.member "command" json) Json.to_string_value in
+    let* command = command_of_json name json in
+    let* strategy = optional "strategy" json Json.to_string_value in
+    let strategy = Option.value ~default:"opt" strategy in
+    let* config = config_of_strategy strategy in
+    let* slack =
+      optional "slack" json (fun v ->
+          Result.bind (Json.to_string_value v) slack_of_name)
+    in
+    let* bus = optional "bus" json bus_of_json in
+    let* kmax = optional "kmax" json Json.to_int in
+    let* config =
+      match kmax with
+      | Some k when k < 0 -> Error "kmax must be non-negative"
+      | Some k -> Ok (Config.with_kmax k config)
+      | None -> Ok config
+    in
+    let config =
+      config
+      |> (match slack with
+         | Some s -> Config.with_slack s
+         | None -> Fun.id)
+      |> match bus with Some b -> Config.with_bus b | None -> Fun.id
+    in
+    let* problem, origin, source =
+      match (Json.member "problem" json, Json.member "example" json) with
+      | Ok _, Ok _ -> Error "give either \"problem\" or \"example\", not both"
+      | Ok doc, Error _ ->
+          let* problem = Problem_io.of_json ?on_warning doc in
+          let name = problem.Problem.app.Ftes_model.Application.name in
+          Ok (problem, `Inline, "inline:" ^ name)
+      | Error _, Ok name ->
+          let* name = Json.to_string_value name in
+          let* problem = problem_of_example name in
+          Ok (problem, `Example name, "example:" ^ name)
+      | Error _, Error _ ->
+          Error "request carries neither \"problem\" nor \"example\""
+    in
+    Ok { id; command; strategy; config; problem; origin; source }
+
+let of_string ?on_warning line =
+  let* json = Json.of_string line in
+  of_json ?on_warning json
+
+(* --- emission --- *)
+
+let command_fields = function
+  | Analyze | Optimize -> []
+  | Exact { limit } -> (
+      match limit with
+      | Some n -> [ ("limit", Json.Number (float_of_int n)) ]
+      | None -> [])
+  | Pareto { eps; objectives; ref_cost } ->
+      [ ("eps", Json.Number eps);
+        ("objectives", Json.String (Objective.names objectives)) ]
+      @ (match ref_cost with
+        | Some c -> [ ("ref_cost", Json.Number c) ]
+        | None -> [])
+
+let to_json t =
+  let policy_fields =
+    let slack =
+      match slack_name t.config.Config.slack with
+      | Ok "shared" -> []
+      | Ok name -> [ ("slack", Json.String name) ]
+      | Error _ -> []
+    in
+    let bus =
+      match t.config.Config.bus with
+      | Bus.Fcfs -> []
+      | bus -> [ ("bus", bus_to_json bus) ]
+    in
+    let kmax =
+      if t.config.Config.kmax = Config.default.Config.kmax then []
+      else [ ("kmax", Json.Number (float_of_int t.config.Config.kmax)) ]
+    in
+    slack @ bus @ kmax
+  in
+  let problem_field =
+    match t.origin with
+    | `Example name -> [ ("example", Json.String name) ]
+    | `Inline -> [ ("problem", Problem_io.to_json t.problem) ]
+  in
+  Json.Object
+    ([ Versioned_json.field schema_version;
+       ("id", Json.String t.id);
+       ("command", Json.String (command_name t.command));
+       ("strategy", Json.String t.strategy) ]
+    @ command_fields t.command @ policy_fields @ problem_field)
+
+let to_string t = Json.to_string ~minify:true (to_json t)
+
+(* --- programmatic constructor --- *)
+
+let counter = Atomic.make 0
+
+let make ?id ?(strategy = "opt") ?slack ?bus ?kmax command problem =
+  let* config = config_of_strategy strategy in
+  let config =
+    config
+    |> (match slack with Some s -> Config.with_slack s | None -> Fun.id)
+    |> (match bus with Some b -> Config.with_bus b | None -> Fun.id)
+    |> match kmax with Some k -> Config.with_kmax k | None -> Fun.id
+  in
+  let* () =
+    match slack with
+    | Some s -> Result.map (fun _ -> ()) (slack_name s)
+    | None -> Ok ()
+  in
+  let* problem, origin, source =
+    match problem with
+    | `Example name ->
+        let* problem = problem_of_example name in
+        Ok (problem, `Example name, "example:" ^ name)
+    | `Problem problem ->
+        let name = problem.Problem.app.Ftes_model.Application.name in
+        Ok (problem, `Inline, "inline:" ^ name)
+  in
+  let id =
+    match id with
+    | Some id -> id
+    | None -> Printf.sprintf "req-%d" (Atomic.fetch_and_add counter 1)
+  in
+  if id = "" then Error "id must be a non-empty string"
+  else Ok { id; command; strategy; config; problem; origin; source }

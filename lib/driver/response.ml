@@ -1,0 +1,133 @@
+module Json = Ftes_util.Json
+module Versioned_json = Ftes_util.Versioned_json
+
+let ( let* ) = Result.bind
+
+let schema_version = 1
+
+type verdict = Feasible | No_solution | Infeasible | Lint_failure | Failed
+
+let verdict_name = function
+  | Feasible -> "feasible"
+  | No_solution -> "no-solution"
+  | Infeasible -> "infeasible"
+  | Lint_failure -> "lint-failure"
+  | Failed -> "error"
+
+let verdict_of_name = function
+  | "feasible" -> Ok Feasible
+  | "no-solution" -> Ok No_solution
+  | "infeasible" -> Ok Infeasible
+  | "lint-failure" -> Ok Lint_failure
+  | "error" -> Ok Failed
+  | other -> Error (Printf.sprintf "unknown verdict %S" other)
+
+let exit_of_verdict = function
+  | Feasible | No_solution | Failed -> Lifecycle.Success
+  | Infeasible -> Lifecycle.Infeasible
+  | Lint_failure -> Lifecycle.Lint_failure
+
+type telemetry = {
+  queue_wait_ns : int;
+  wall_ns : int;
+  sfp_hits : int;
+  sfp_misses : int;
+  eval_hits : int;
+  eval_misses : int;
+  cache_problems : int;
+}
+
+type t = {
+  id : string;
+  seq : int;
+  verdict : verdict;
+  payload : Json.t;
+  error : string option;
+  telemetry : telemetry option;
+}
+
+let int_field name v = (name, Json.Number (float_of_int v))
+
+let telemetry_json t =
+  Json.Object
+    [ int_field "queue_wait_ns" t.queue_wait_ns;
+      int_field "wall_ns" t.wall_ns;
+      ( "sfp_cache",
+        Json.Object
+          [ int_field "hits" t.sfp_hits; int_field "misses" t.sfp_misses ] );
+      ( "evals",
+        Json.Object
+          [ int_field "hits" t.eval_hits; int_field "misses" t.eval_misses ]
+      );
+      int_field "cache_problems" t.cache_problems ]
+
+let to_json t =
+  Json.Object
+    ([ Versioned_json.field schema_version;
+       ("id", Json.String t.id);
+       int_field "seq" t.seq;
+       ("verdict", Json.String (verdict_name t.verdict));
+       ("payload", t.payload) ]
+    @ (match t.error with
+      | Some msg -> [ ("error", Json.String msg) ]
+      | None -> [])
+    @
+    match t.telemetry with
+    | Some tel -> [ ("telemetry", telemetry_json tel) ]
+    | None -> [])
+
+let to_line t = Json.to_string ~minify:true (to_json t)
+
+let optional key json decode =
+  match Json.member key json with
+  | Error _ -> Ok None
+  | Ok v ->
+      let* v = decode v in
+      Ok (Some v)
+
+let telemetry_of_json json =
+  let int key = Result.bind (Json.member key json) Json.to_int in
+  let pair key json =
+    let* v = Json.member key json in
+    let* hits = Result.bind (Json.member "hits" v) Json.to_int in
+    let* misses = Result.bind (Json.member "misses" v) Json.to_int in
+    Ok (hits, misses)
+  in
+  let* queue_wait_ns = int "queue_wait_ns" in
+  let* wall_ns = int "wall_ns" in
+  let* sfp_hits, sfp_misses = pair "sfp_cache" json in
+  let* eval_hits, eval_misses = pair "evals" json in
+  let* cache_problems = int "cache_problems" in
+  Ok
+    { queue_wait_ns;
+      wall_ns;
+      sfp_hits;
+      sfp_misses;
+      eval_hits;
+      eval_misses;
+      cache_problems }
+
+let of_json ?on_warning json =
+  let* () =
+    Versioned_json.check ~what:"response" ~accept_v0:true ?on_warning
+      ~current:schema_version json
+  in
+  let* id = Result.bind (Json.member "id" json) Json.to_string_value in
+  let* seq = Result.bind (Json.member "seq" json) Json.to_int in
+  let* verdict =
+    Result.bind
+      (Result.bind (Json.member "verdict" json) Json.to_string_value)
+      verdict_of_name
+  in
+  let* payload = Json.member "payload" json in
+  let* error = optional "error" json Json.to_string_value in
+  let* telemetry = optional "telemetry" json telemetry_of_json in
+  Ok { id; seq; verdict; payload; error; telemetry }
+
+let of_string ?on_warning line =
+  let* json = Json.of_string line in
+  of_json ?on_warning json
+
+let fingerprint t =
+  Printf.sprintf "%s|%s|%s" (verdict_name t.verdict) t.id
+    (Json.to_string ~minify:true t.payload)

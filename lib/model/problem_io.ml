@@ -33,7 +33,7 @@ let to_json (problem : Problem.t) =
         ("versions", List (Array.to_list (Array.map version nt.versions))) ]
   in
   Object
-    [ ("schema_version", Number (float_of_int schema_version));
+    [ Ftes_util.Versioned_json.field schema_version;
       ( "application",
         Object
           [ ("name", String app.Application.name);
@@ -107,24 +107,8 @@ let default_warn msg = Printf.eprintf "problem_io: warning: %s\n%!" msg
 
 let of_json ?(on_warning = default_warn) json =
   let* () =
-    match member "schema_version" json with
-    | Error _ ->
-        on_warning
-          (Printf.sprintf
-             "document has no \"schema_version\" field; reading it as the \
-              deprecated v0 format (re-export to upgrade to v%d)"
-             schema_version);
-        Ok ()
-    | Ok v -> (
-        match to_int v with
-        | Error e -> Error ("schema_version: " ^ e)
-        | Ok v when v = 0 || v = schema_version -> Ok ()
-        | Ok v ->
-            Error
-              (Printf.sprintf
-                 "unsupported schema_version %d (this build reads versions 0 \
-                  and %d; a newer ftes probably wrote this file)"
-                 v schema_version))
+    Ftes_util.Versioned_json.check ~what:"document" ~accept_v0:true
+      ~on_warning ~current:schema_version json
   in
   let* app_json = member "application" json in
   let* app = application_of_json app_json in

@@ -1,0 +1,44 @@
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  table : ('k, 'v) Hashtbl.t;
+  max_entries : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable drops : int;
+}
+
+let create ?(max_entries = 256) () =
+  if max_entries < 1 then
+    invalid_arg "Keyed_cache.create: max_entries must be positive";
+  { lock = Mutex.create ();
+    table = Hashtbl.create 16;
+    max_entries;
+    hits = 0;
+    misses = 0;
+    drops = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_or_add t key build =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          v
+      | None ->
+          t.misses <- t.misses + 1;
+          let v = build () in
+          if Hashtbl.length t.table < t.max_entries then
+            Hashtbl.replace t.table key v
+          else t.drops <- t.drops + 1;
+          v)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let hits t = with_lock t (fun () -> t.hits)
+
+let misses t = with_lock t (fun () -> t.misses)
+
+let drops t = with_lock t (fun () -> t.drops)

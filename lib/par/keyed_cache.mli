@@ -1,0 +1,35 @@
+(** Domain-safe keyed store of shared caches.
+
+    The design-service daemon ({!Ftes_driver.Daemon}) shares one
+    evaluation cache ({!Ftes_core.Redundancy_opt.cache}) across every
+    request that targets the same problem — but a cache instance is
+    bound to one problem, so the daemon needs a registry keyed on a
+    problem fingerprint.  This module is that registry, kept generic
+    ([('k, 'v) t]) because [lib/par] sits below [lib/core].
+
+    All operations take one mutex; [find_or_add] calls the producer
+    under the lock, so two concurrent requests for a new key never
+    build the value twice.  Producers must therefore be cheap
+    (cache {e construction}, not cache {e population}).  Hit/miss
+    counters make the sharing observable. *)
+
+type ('k, 'v) t
+
+val create : ?max_entries:int -> unit -> ('k, 'v) t
+(** Fresh empty store.  Once [max_entries] (default 256) keys are
+    stored, further misses build the value without retaining it, so a
+    stream of one-off problems cannot grow the daemon's footprint
+    without bound (each drop counts under {!drops}). *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t key build] returns the stored value for [key],
+    building and storing it with [build] on first sight. *)
+
+val length : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val drops : ('k, 'v) t -> int
+(** Values built but not retained because the store was full. *)

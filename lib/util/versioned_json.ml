@@ -1,0 +1,38 @@
+let field v = ("schema_version", Json.Number (float_of_int v))
+
+let default_warn what msg = Printf.eprintf "%s: warning: %s\n%!" what msg
+
+let check ?(what = "document") ?(accept_v0 = true) ?on_warning ~current json =
+  let on_warning =
+    match on_warning with Some f -> f | None -> default_warn what
+  in
+  match Json.member "schema_version" json with
+  | Error _ ->
+      on_warning
+        (Printf.sprintf
+           "%s has no \"schema_version\" field; reading it as the \
+            deprecated v0 format (re-export to upgrade to v%d)"
+           what current);
+      Ok ()
+  | Ok v -> (
+      match Json.to_int v with
+      | Error e -> Error ("schema_version: " ^ e)
+      | Ok v when v = current || (accept_v0 && v = 0) -> Ok ()
+      | Ok v ->
+          Error
+            (if accept_v0 then
+               Printf.sprintf
+                 "unsupported %s schema_version %d (this build reads \
+                  versions 0 and %d; a newer ftes probably wrote this file)"
+                 what v current
+             else
+               Printf.sprintf
+                 "unsupported %s schema_version %d (this build reads v%d; \
+                  a newer ftes probably wrote this file)"
+                 what v current))
+
+let opt_number x = if Float.is_finite x then Json.Number x else Json.Null
+
+let opt_float = function
+  | Json.Null -> Ok infinity
+  | json -> Json.to_float json

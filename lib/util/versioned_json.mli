@@ -1,0 +1,45 @@
+(** Shared [schema_version] conventions of every versioned JSON
+    document the system writes (problems, certificates, frontiers,
+    request/response envelopes).
+
+    Convention, mirrored from [Problem_io]:
+
+    - writers stamp an explicit integer ["schema_version"] field;
+    - readers accept the current version;
+    - a {e missing} field means the pre-versioning v0 format: accepted
+      with a deprecation warning ([on_warning]) because v0 and v1
+      payloads are identical;
+    - an explicit [0] is accepted exactly when the reader opts in
+      ([accept_v0]) — document families that never shipped an explicit
+      v0 reject it like any other unknown version;
+    - any other version is rejected with an error naming both the found
+      and the supported versions, so a newer writer surfaces as a clear
+      message instead of a confusing constructor error downstream.
+
+    The module also owns the infinity↔null float convention: bounds
+    that are [infinity] in memory ("no admissible assignment") have no
+    JSON spelling, so they travel as [null]. *)
+
+val field : int -> string * Json.t
+(** [field v] is the [("schema_version", v)] pair writers prepend. *)
+
+val check :
+  ?what:string ->
+  ?accept_v0:bool ->
+  ?on_warning:(string -> unit) ->
+  current:int ->
+  Json.t ->
+  (unit, string) result
+(** [check ~what ~current json] validates the document's
+    ["schema_version"] against [current] under the convention above.
+    [what] names the document family in messages (default
+    ["document"]); [accept_v0] (default [true]) admits an explicit
+    [0]; [on_warning] (default: print to stderr prefixed with [what])
+    receives the v0 deprecation warning. *)
+
+val opt_number : float -> Json.t
+(** [Number x] for finite [x], [Null] for [infinity] (and any other
+    non-finite value). *)
+
+val opt_float : Json.t -> (float, string) result
+(** Inverse of {!opt_number}: [Null] reads back as [infinity]. *)

@@ -7,6 +7,7 @@ type requires =
   | Needs_archive
   | Needs_certificate
   | Needs_bnb_certificate
+  | Needs_responses
 
 type t = {
   id : string;
@@ -29,3 +30,4 @@ let applicable subject t =
   | Needs_archive -> subject.Subject.archive <> None
   | Needs_certificate -> subject.Subject.certificate <> None
   | Needs_bnb_certificate -> subject.Subject.bnb_certificate <> None
+  | Needs_responses -> subject.Subject.responses <> None

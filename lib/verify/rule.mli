@@ -16,6 +16,9 @@ type requires =
   | Needs_bnb_certificate
       (** skipped unless the subject carries a branch-and-bound
           optimality certificate. *)
+  | Needs_responses
+      (** skipped unless the subject carries a design-service response
+          stream. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

@@ -1,0 +1,22 @@
+(** Rules over a design-service response stream.
+
+    The daemon ([ftes serve]) answers each request line with one JSON
+    envelope; these rules audit a captured stream of those envelopes —
+    wire format, ordering and telemetry consistency — from the raw
+    parsed JSON, independently of the daemon's own encoder/decoder
+    pair, so an encoder bug cannot vouch for itself.
+
+    - [serve/envelope]: every response is a v1 envelope with a
+      non-empty id, a known verdict, a payload object, and an error
+      message exactly when the verdict is ["error"]; executed payloads
+      carry the versioned report header (schema_version, subject,
+      strategy).
+    - [serve/order]: [seq] numbers are contiguous and ascending — the
+      stream is 1:1 with the request stream and in request order,
+      whatever concurrency produced it.
+    - [serve/verdict]: the envelope verdict agrees with the payload's
+      own ["feasible"] claim.
+    - [serve/telemetry]: per-request counters are non-negative and the
+      process-wide cache counters never decrease along the stream. *)
+
+val all : Rule.t list

@@ -16,12 +16,14 @@ type t = {
   opt_cost : float option;
   certificate : Ftes_analyze.Certificate.t option;
   bnb_certificate : Ftes_analyze.Bnb_certificate.t option;
+  responses : Ftes_util.Json.t list option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
     bus = Bus.Fcfs; sfp_tables = None; metrics = None; archive = None;
-    opt_cost = None; certificate = None; bnb_certificate = None }
+    opt_cost = None; certificate = None; bnb_certificate = None;
+    responses = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
@@ -45,3 +47,5 @@ let with_certificate t certificate = { t with certificate = Some certificate }
 
 let with_bnb_certificate t certificate =
   { t with bnb_certificate = Some certificate }
+
+let with_responses t responses = { t with responses = Some responses }

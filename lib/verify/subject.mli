@@ -38,6 +38,11 @@ type t = {
           the policies the search ran under: the incumbent is
           re-scheduled and the prune premises re-derived against
           them. *)
+  responses : Ftes_util.Json.t list option;
+      (** a design-service response stream (one parsed JSON envelope
+          per emitted line, in emission order), enabling the [serve/*]
+          rules.  Kept as raw JSON — the rules audit the wire format
+          itself, independent of the daemon's own decoder. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -78,3 +83,7 @@ val with_bnb_certificate : t -> Ftes_analyze.Bnb_certificate.t -> t
     [bnb/*] audit rules.  Set the subject's [slack] and [bus] to the
     search's policies first (e.g. through a record update on
     {!of_problem} / {!of_design}). *)
+
+val with_responses : t -> Ftes_util.Json.t list -> t
+(** Attach a design-service response stream (parsed envelopes in
+    emission order), enabling the [serve/*] rules. *)

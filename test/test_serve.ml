@@ -1,0 +1,485 @@
+(* The design-service request lifecycle: daemon responses must be
+   bit-identical to one-shot execution of the same request, 1:1 with
+   the request stream and in request order under a concurrent pool,
+   and garbage on the wire must come back as a structured error
+   without killing the daemon.  The serve/* verifier rules are
+   mutation-tested here: each rule must fire on a stream corrupted in
+   exactly the way it audits.
+
+   The golden JSONL pair under [golden/] pins the cruise-controller
+   wire bytes.  To regenerate after an intentional change:
+
+     FTES_REGEN_GOLDEN=$PWD/test/golden dune exec test/test_serve.exe *)
+
+module Json = Ftes_util.Json
+module Config = Ftes_core.Config
+module Scheduler = Ftes_sched.Scheduler
+module Bus = Ftes_sched.Bus
+module Pool = Ftes_par.Pool
+module Problem_io = Ftes_model.Problem_io
+module Objective = Ftes_pareto.Objective
+module Lifecycle = Ftes_driver.Lifecycle
+module Request = Ftes_driver.Request
+module Response = Ftes_driver.Response
+module Exec = Ftes_driver.Exec
+module Daemon = Ftes_driver.Daemon
+module Subject = Ftes_verify.Subject
+module Verify = Ftes_verify.Verify
+module Serve_rules = Ftes_verify.Serve_rules
+module Report = Ftes_verify.Report
+
+let ok_exn = function Ok v -> v | Error e -> failwith e
+
+let pareto_all =
+  Request.Pareto { eps = 0.0; objectives = Objective.all; ref_cost = None }
+
+(* The one-shot half of the differential: execute the request on the
+   shared Exec path exactly as a CLI subcommand would, with no daemon
+   envelope and no cache. *)
+let one_shot (req : Request.t) =
+  let outcome = Exec.run req in
+  { Response.id = req.Request.id;
+    seq = 0;
+    verdict = Exec.verdict outcome;
+    payload = Exec.payload req outcome;
+    error = None;
+    telemetry = None }
+
+let daemon_once ?pool ?caches req =
+  match Daemon.run_lines ?pool ?caches [ Request.to_string req ] with
+  | [ r ] -> r
+  | rs -> failwith (Printf.sprintf "expected 1 response, got %d" (List.length rs))
+
+(* --- golden cruise-controller stream --- *)
+
+let golden_requests () =
+  let mk ?strategy ?slack ?bus id command =
+    ok_exn (Request.make ~id ?strategy ?slack ?bus command (`Example "cc"))
+  in
+  [ mk "cc-analyze" Request.Analyze;
+    mk "cc-opt" Request.Optimize;
+    mk "cc-min" ~strategy:"min" Request.Optimize;
+    mk "cc-max" ~strategy:"max" ~slack:Scheduler.Conservative
+      ~bus:(Bus.Tdma { slot_ms = 2.0 })
+      Request.Optimize;
+    mk "cc-pareto" pareto_all ]
+
+let read_lines path = In_channel.with_open_text path In_channel.input_lines
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        lines)
+
+let () =
+  match Sys.getenv_opt "FTES_REGEN_GOLDEN" with
+  | Some dir ->
+      let requests = golden_requests () in
+      let lines = List.map Request.to_string requests in
+      (* Telemetry carries wall-clock times; the golden stream pins
+         only the deterministic bytes. *)
+      let responses = Daemon.run_lines ~telemetry:false lines in
+      write_lines (Filename.concat dir "serve_cc_requests.jsonl") lines;
+      write_lines
+        (Filename.concat dir "serve_cc_responses.jsonl")
+        (List.map Response.to_line responses);
+      Printf.printf "regenerated serve_cc_{requests,responses}.jsonl in %s\n%!"
+        dir;
+      exit 0
+  | None -> ()
+
+let golden_path name =
+  let local = Filename.concat "golden" name in
+  if Sys.file_exists local then local
+  else Filename.concat (Filename.concat "test" "golden") name
+
+let test_golden_cc () =
+  let requests = read_lines (golden_path "serve_cc_requests.jsonl") in
+  let golden = read_lines (golden_path "serve_cc_responses.jsonl") in
+  let fresh =
+    List.map Response.to_line (Daemon.run_lines ~telemetry:false requests)
+  in
+  Alcotest.(check int)
+    "response count" (List.length golden) (List.length fresh);
+  List.iteri
+    (fun i (want, got) ->
+      Alcotest.(check string) (Printf.sprintf "response %d bytes" i) want got)
+    (List.combine golden fresh)
+
+(* The checked-in requests are the wire spelling of [golden_requests]:
+   a drift in the request encoder fails here, not only in regen. *)
+let test_golden_requests_current () =
+  let golden = read_lines (golden_path "serve_cc_requests.jsonl") in
+  let fresh = List.map Request.to_string (golden_requests ()) in
+  Alcotest.(check (list string)) "request bytes" golden fresh
+
+(* --- daemon == one-shot, across the wire policy grid --- *)
+
+let test_differential_policy_grid () =
+  List.iter
+    (fun (sname, slack) ->
+      List.iter
+        (fun (bname, bus) ->
+          let req =
+            ok_exn
+              (Request.make
+                 ~id:(Printf.sprintf "fig1-%s-%s" sname bname)
+                 ~slack ~bus Request.Optimize (`Example "fig1"))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "fig1 optimize %s/%s" sname bname)
+            (Response.fingerprint (one_shot req))
+            (Response.fingerprint (daemon_once req)))
+        Helpers.named_bus_policies)
+    Helpers.named_slack_policies
+
+let test_differential_commands () =
+  let caches = Daemon.create_caches () in
+  List.iter
+    (fun (label, req) ->
+      Alcotest.(check string) label
+        (Response.fingerprint (one_shot req))
+        (Response.fingerprint (daemon_once ~caches req)))
+    [ ( "cc analyze",
+        ok_exn (Request.make ~id:"cc-a" Request.Analyze (`Example "cc")) );
+      ( "cc optimize",
+        ok_exn (Request.make ~id:"cc-o" Request.Optimize (`Example "cc")) );
+      ( "fig1 exact",
+        ok_exn
+          (Request.make ~id:"fig1-x"
+             (Request.Exact { limit = None })
+             (`Example "fig1")) );
+      ( "fig1 pareto",
+        ok_exn (Request.make ~id:"fig1-p" pareto_all (`Example "fig1")) ) ]
+
+let prop_differential_inline =
+  QCheck.Test.make ~count:6
+    ~name:"daemon == one-shot on inline problems (seed x slack x bus)"
+    QCheck.(triple small_nat (int_bound 2) bool)
+    (fun (seed, slack_i, tdma) ->
+      let problem = Helpers.small_problem seed in
+      let slack = snd (List.nth Helpers.named_slack_policies slack_i) in
+      let bus = if tdma then Bus.Tdma { slot_ms = 2.0 } else Bus.Fcfs in
+      let req =
+        ok_exn
+          (Request.make ~id:"inline" ~slack ~bus Request.Optimize
+             (`Problem problem))
+      in
+      Response.fingerprint (one_shot req)
+      = Response.fingerprint (daemon_once req))
+
+(* --- 1:1, ordered, concurrent --- *)
+
+let test_order_under_pool () =
+  let pool = Pool.create ~domains:4 () in
+  let caches = Daemon.create_caches () in
+  let requests =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (fun (sname, slack) ->
+            ok_exn
+              (Request.make
+                 ~id:(Printf.sprintf "fig1-%s-%s" strategy sname)
+                 ~strategy ~slack Request.Optimize (`Example "fig1")))
+          Helpers.named_slack_policies)
+      [ "opt"; "min"; "max" ]
+    @ [ ok_exn (Request.make ~id:"cc-tail" Request.Analyze (`Example "cc")) ]
+  in
+  let lines = List.map Request.to_string requests in
+  let responses = Daemon.run_lines ~pool ~caches ~first_seq:7 lines in
+  Alcotest.(check int) "1:1" (List.length requests) (List.length responses);
+  List.iteri
+    (fun i (req, resp) ->
+      Alcotest.(check int)
+        (Printf.sprintf "seq of response %d" i)
+        (7 + i) resp.Response.seq;
+      Alcotest.(check string)
+        (Printf.sprintf "id of response %d" i)
+        req.Request.id resp.Response.id;
+      Alcotest.(check string)
+        (Printf.sprintf "fingerprint of response %d" i)
+        (Response.fingerprint (one_shot req))
+        (Response.fingerprint resp))
+    (List.combine requests responses)
+
+(* --- garbage in, structured error out --- *)
+
+let test_malformed_lines_survive () =
+  let lines =
+    [ "this is not JSON";
+      "{\"schema_version\": 99, \"id\": \"too-new\", \"command\": \
+       \"analyze\", \"example\": \"fig1\"}";
+      "{\"schema_version\": 1, \"id\": \"bad-cmd\", \"command\": \
+       \"frobnicate\", \"example\": \"fig1\"}";
+      "{\"schema_version\": 1, \"id\": \"bad-ex\", \"command\": \"analyze\", \
+       \"example\": \"fig9\"}";
+      "{\"schema_version\": 1, \"command\": \"analyze\", \"example\": \
+       \"fig1\"}";
+      Request.to_string
+        (ok_exn (Request.make ~id:"good" Request.Analyze (`Example "fig1"))) ]
+  in
+  let responses = Daemon.run_lines lines in
+  Alcotest.(check int) "1:1" (List.length lines) (List.length responses);
+  let failed, good =
+    match List.rev responses with
+    | good :: rev_failed -> (List.rev rev_failed, good)
+    | [] -> assert false
+  in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d: verdict error" i)
+        true
+        (r.Response.verdict = Response.Failed);
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d: non-empty error message" i)
+        true
+        (match r.Response.error with Some msg -> msg <> "" | None -> false);
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d: empty payload" i)
+        true
+        (r.Response.payload = Json.Object []))
+    failed;
+  (* The daemon survived the garbage: the trailing valid request still
+     executes normally. *)
+  Alcotest.(check string) "survivor id" "good" good.Response.id;
+  Alcotest.(check bool) "survivor verdict" true
+    (good.Response.verdict = Response.Feasible);
+  (* Echoed ids are best-effort even on parse failures. *)
+  Alcotest.(check string) "id echoed from bad command"
+    "bad-cmd" (List.nth responses 2).Response.id
+
+(* --- verdict and exit semantics --- *)
+
+let test_infeasible_verdict () =
+  let problem = Problem_io.load (golden_path "infeasible-fig1.json") in
+  let problem = ok_exn problem in
+  let req =
+    ok_exn (Request.make ~id:"inf" Request.Analyze (`Problem problem))
+  in
+  let resp = daemon_once req in
+  Alcotest.(check bool) "daemon verdict infeasible" true
+    (resp.Response.verdict = Response.Infeasible);
+  Alcotest.(check string) "one-shot agrees"
+    (Response.fingerprint (one_shot req))
+    (Response.fingerprint resp)
+
+let test_exit_of_verdict () =
+  List.iter
+    (fun (verdict, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "exit of %S" (Response.verdict_name verdict))
+        expected
+        (Lifecycle.int_of_exit_code (Response.exit_of_verdict verdict)))
+    [ (Response.Feasible, 0);
+      (Response.No_solution, 0);
+      (Response.Failed, 0);
+      (Response.Infeasible, 3);
+      (Response.Lint_failure, 3) ]
+
+(* --- wire round-trips --- *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:40
+    ~name:"Request.of_string (Request.to_string r) re-emits the same bytes"
+    QCheck.(quad (int_bound 3) (int_bound 2) bool small_nat)
+    (fun (cmd_i, slack_i, tdma, kmax) ->
+      let command =
+        match cmd_i with
+        | 0 -> Request.Analyze
+        | 1 -> Request.Optimize
+        | 2 -> Request.Exact { limit = Some (1 + kmax) }
+        | _ ->
+            Request.Pareto
+              { eps = 0.1;
+                objectives = Objective.all;
+                ref_cost = Some 42.0 }
+      in
+      let slack = snd (List.nth Helpers.named_slack_policies slack_i) in
+      let bus = if tdma then Bus.Tdma { slot_ms = 2.0 } else Bus.Fcfs in
+      let req =
+        ok_exn
+          (Request.make ~id:"rt" ~slack ~bus ~kmax:(kmax mod 3) command
+             (`Example "fig1"))
+      in
+      let line = Request.to_string req in
+      Request.to_string (ok_exn (Request.of_string line)) = line)
+
+let test_response_roundtrip () =
+  let resp =
+    { Response.id = "rt";
+      seq = 3;
+      verdict = Response.Lint_failure;
+      payload = Json.Object [ ("feasible", Json.Bool false) ];
+      error = None;
+      telemetry =
+        Some
+          { Response.queue_wait_ns = 12;
+            wall_ns = 3456;
+            sfp_hits = 7;
+            sfp_misses = 8;
+            eval_hits = 9;
+            eval_misses = 10;
+            cache_problems = 2 } }
+  in
+  let line = Response.to_line resp in
+  Alcotest.(check string) "re-emitted bytes" line
+    (Response.to_line (ok_exn (Response.of_string line)))
+
+(* --- warm cache: invisible to results, visible to counters --- *)
+
+let test_warm_cache_fingerprints () =
+  let caches = Daemon.create_caches () in
+  let req strategy =
+    ok_exn
+      (Request.make ~id:("cc-" ^ strategy) ~strategy Request.Optimize
+         (`Example "cc"))
+  in
+  let cold = daemon_once ~caches (req "opt") in
+  let warm = daemon_once ~caches (req "opt") in
+  Alcotest.(check string) "warm == cold payload bytes"
+    (Json.to_string ~minify:true cold.Response.payload)
+    (Json.to_string ~minify:true warm.Response.payload);
+  (* Strategies differing only in hardening policy share one bucket. *)
+  let _ = daemon_once ~caches (req "min") in
+  Alcotest.(check int) "one problem bucket" 1 (Daemon.cache_problems caches);
+  Alcotest.(check bool) "registry hits observed" true
+    (Daemon.cache_hits caches >= 2)
+
+(* --- the serve/* rules fire on corrupted streams --- *)
+
+let envelopes responses =
+  List.map
+    (fun r -> ok_exn (Json.of_string (Response.to_line r)))
+    responses
+
+let subject_of stream =
+  Subject.with_responses
+    (Subject.of_problem (Ftes_cc.Fig_examples.fig1_problem ()))
+    stream
+
+let run_rules stream = Verify.run ~rules:Serve_rules.all (subject_of stream)
+
+let set key value = function
+  | Json.Object fields ->
+      Json.Object
+        (List.map
+           (fun (k, v) -> if k = key then (k, value) else (k, v))
+           fields)
+  | other -> other
+
+let mutate_nth i f stream =
+  List.mapi (fun j json -> if j = i then f json else json) stream
+
+let clean_stream =
+  lazy
+    (let caches = Daemon.create_caches () in
+     envelopes
+       (Daemon.run_lines ~caches
+          (List.map Request.to_string
+             [ ok_exn (Request.make ~id:"s0" Request.Analyze (`Example "fig1"));
+               ok_exn
+                 (Request.make ~id:"s1" Request.Optimize (`Example "fig1"));
+               ok_exn
+                 (Request.make ~id:"s2" ~strategy:"min" Request.Optimize
+                    (`Example "fig1")) ])))
+
+let check_fires name rule stream =
+  let report = run_rules stream in
+  Alcotest.(check bool) (name ^ ": report rejects") false (Report.ok report);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s fired" name rule)
+    true
+    (List.mem rule (Report.fired_rules report))
+
+let test_rules_accept_clean_stream () =
+  let report = run_rules (Lazy.force clean_stream) in
+  if not (Report.ok report) then
+    Alcotest.failf "clean stream rejected:\n%s" (Report.to_text report)
+
+let test_rule_mutations () =
+  let stream = Lazy.force clean_stream in
+  check_fires "unknown verdict" "serve/envelope"
+    (mutate_nth 0 (set "verdict" (Json.String "maybe")) stream);
+  check_fires "error message on success" "serve/envelope"
+    (mutate_nth 1
+       (fun json ->
+         match json with
+         | Json.Object fields ->
+             Json.Object (fields @ [ ("error", Json.String "boom") ])
+         | other -> other)
+       stream);
+  check_fires "payload stripped of its report header" "serve/envelope"
+    (mutate_nth 1 (set "payload" (Json.Object [])) stream);
+  check_fires "seq reordered" "serve/order"
+    (mutate_nth 2 (set "seq" (Json.Number 0.)) stream);
+  check_fires "verdict contradicts payload" "serve/verdict"
+    (mutate_nth 1 (set "verdict" (Json.String "infeasible")) stream);
+  check_fires "negative wall time" "serve/telemetry"
+    (mutate_nth 0
+       (fun json ->
+         match Json.member "telemetry" json with
+         | Ok tel -> set "telemetry" (set "wall_ns" (Json.Number (-1.)) tel) json
+         | Error _ -> json)
+       stream);
+  check_fires "cache counter falls along the stream" "serve/telemetry"
+    (mutate_nth 2
+       (fun json ->
+         match Json.member "telemetry" json with
+         | Ok tel ->
+             set "telemetry"
+               (set "sfp_cache"
+                  (Json.Object
+                     [ ("hits", Json.Number 0.); ("misses", Json.Number 0.) ])
+                  tel)
+               json
+         | Error _ -> json)
+       stream)
+
+(* The daemon's own self-test must agree with the rules it audits. *)
+let test_daemon_audit () =
+  let responses, report = Daemon.audit () in
+  Alcotest.(check int) "audit stream size" 4 (List.length responses);
+  if not (Report.ok report) then
+    Alcotest.failf "audit rejected:\n%s" (Report.to_text report)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ftes_serve"
+    [ ( "differential",
+        [ Alcotest.test_case "fig1 optimize across slack x bus" `Quick
+            test_differential_policy_grid;
+          Alcotest.test_case "analyze/optimize/exact/pareto" `Quick
+            test_differential_commands;
+          q prop_differential_inline ] );
+      ( "stream",
+        [ Alcotest.test_case "1:1, ordered, concurrent pool" `Quick
+            test_order_under_pool;
+          Alcotest.test_case "malformed lines get structured errors" `Quick
+            test_malformed_lines_survive ] );
+      ( "verdicts",
+        [ Alcotest.test_case "proven-infeasible surfaces as a verdict" `Quick
+            test_infeasible_verdict;
+          Alcotest.test_case "exit codes of verdicts" `Quick
+            test_exit_of_verdict ] );
+      ( "wire",
+        [ q prop_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "golden cc requests are current" `Quick
+            test_golden_requests_current;
+          Alcotest.test_case "golden cc stream" `Quick test_golden_cc ] );
+      ( "caches",
+        [ Alcotest.test_case "warm cache is invisible to payload bytes" `Quick
+            test_warm_cache_fingerprints ] );
+      ( "rules",
+        [ Alcotest.test_case "clean stream accepted" `Quick
+            test_rules_accept_clean_stream;
+          Alcotest.test_case "each serve rule fires on its corruption" `Quick
+            test_rule_mutations;
+          Alcotest.test_case "ftes serve --audit machinery" `Quick
+            test_daemon_audit ] ) ]
