@@ -59,7 +59,7 @@ let resolve_problem target =
 (* The request the subcommand is about to execute on the shared
    Ftes_driver.Exec path, carrying the CLI's own subject spelling
    (file path or example:NAME). *)
-let request_of target command problem config =
+let request_of ?whatif target command problem config =
   { Request.id = "cli";
     command;
     strategy = target.strategy;
@@ -69,7 +69,8 @@ let request_of target command problem config =
       (match target.file with
       | Some _ -> `Inline
       | None -> `Example target.example);
-    source = target_source target }
+    source = target_source target;
+    whatif }
 
 (* --- terms --- *)
 

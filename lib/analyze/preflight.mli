@@ -118,6 +118,34 @@ val feasible : t -> bool
 
 val witness_to_string : Ftes_model.Problem.t -> witness -> string
 
+(** {2 Warm-start reuse}
+
+    A report can outlive its problem across a {e tightening}
+    perturbation (deadline or period decreased, gamma decreased, WCETs
+    or failure probabilities raised — the caller proves this via
+    {!Ftes_whatif.Delta.cannot_weaken}): the [kneed] table was derived
+    under a budget at least as loose as the perturbed one, so its
+    entries under-approximate the required re-executions and every
+    length bound built from them remains a valid lower bound.  The
+    pruning oracles stay one-sided under such reuse, so warm walks
+    remain bit-identical to cold ones. *)
+
+val recheck : t -> Ftes_model.Problem.t -> bool
+(** [recheck t perturbed] arithmetically re-verifies each stored
+    infeasibility witness against the perturbed problem's tables —
+    re-checked, not re-derived.  [true] when every witness still
+    proves infeasibility there (vacuously for a feasible report).
+    Only meaningful when the library shape and process count are
+    unchanged; the caller's tightening gate guarantees that. *)
+
+val retarget : t -> Ftes_model.Problem.t -> t
+(** [retarget t perturbed] rebinds the report to the perturbed problem
+    (the oracles read WCETs through it) while keeping every derived
+    bound.  Sound only under the tightening premise above; the
+    unchanged [kmax] and policy bucket still must match the consuming
+    config, as {!Ftes_core.Redundancy_opt.validate_preflight}
+    enforces. *)
+
 (** {2 Pruning oracles}
 
     Sound one-sided tests the optimizer consults mid-walk; every

@@ -53,6 +53,14 @@ let c_runs = Ftes_obs.Metrics.counter "strategy.runs"
 let c_pruned_architectures =
   Ftes_obs.Metrics.counter "analyze.pruned_architectures"
 
+(* One entry of the recorded walk: an evaluated architecture and its
+   verdict.  Steps correspond 1:1 with [explored] increments, which are
+   bit-identical across pool modes, so the trail is too. *)
+type step = {
+  step_members : int array;
+  step_verdict : [ `Schedulable of float | `Unschedulable ];
+}
+
 (* The Fig. 5 walk, parameterized over a feasible-candidate hook.  The
    hook fires once per feasible result surfaced by an evaluated
    architecture (the schedule-length winner first, then the cost-refined
@@ -60,8 +68,10 @@ let c_pruned_architectures =
    path: the sequential walk calls it in evaluation order, and the
    parallel walk only during the ordered batch merge — never from a
    speculative worker — so the hook sees the exact same sequence whatever
-   the domain count. *)
-let search ?pool ?cache ?preflight ~config ~on_feasible problem =
+   the domain count.  [on_step] fires from the same path, once per
+   evaluated architecture. *)
+let search ?pool ?cache ?preflight ~config ~on_feasible
+    ?(on_step = fun _ -> ()) problem =
   Option.iter (Redundancy_opt.validate_preflight ~config problem) preflight;
   let lib = Problem.n_library problem in
   (* An externally supplied cache lets several runs over the same
@@ -142,8 +152,12 @@ let search ?pool ?cache ?preflight ~config ~on_feasible problem =
           incr explored;
           Ftes_obs.Metrics.incr c_explored;
           match evaluate_architecture members with
-          | `Unschedulable -> ()
-          | `Schedulable outcome ->
+          | `Unschedulable ->
+              on_step { step_members = members; step_verdict = `Unschedulable }
+          | `Schedulable ((result, _) as outcome) ->
+              on_step
+                { step_members = members;
+                  step_verdict = `Schedulable result.Redundancy_opt.cost };
               record outcome;
               size_level_seq rest
         end
@@ -172,8 +186,14 @@ let search ?pool ?cache ?preflight ~config ~on_feasible problem =
             incr explored;
             Ftes_obs.Metrics.incr c_explored;
             match result with
-            | `Unschedulable -> false
-            | `Schedulable outcome ->
+            | `Unschedulable ->
+                on_step
+                  { step_members = members; step_verdict = `Unschedulable };
+                false
+            | `Schedulable ((result, _) as outcome) ->
+                on_step
+                  { step_members = members;
+                    step_verdict = `Schedulable result.Redundancy_opt.cost };
                 record outcome;
                 merge candidates results
           end
@@ -246,13 +266,115 @@ let finalize ~config ~cache ~explored problem (result : Redundancy_opt.result)
     explored;
     certificate }
 
-let run ?pool ?cache ?preflight ~config problem =
+type recorded = {
+  rec_problem : Problem.t;
+  rec_config : Config.t;
+  rec_cache : Redundancy_opt.cache option;
+  rec_preflight : Ftes_analyze.Preflight.t option;
+  rec_trail : step list;
+  rec_solution : solution option;
+  rec_explored : int;
+}
+
+let run_recorded ?pool ?cache ?preflight ~config problem =
   Ftes_obs.Metrics.incr c_runs;
   Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
+  let steps = ref [] in
+  let on_step step = steps := step :: !steps in
   let best, explored, cache =
-    search ?pool ?cache ?preflight ~config ~on_feasible:(fun _ -> ()) problem
+    search ?pool ?cache ?preflight ~config ~on_feasible:(fun _ -> ()) ~on_step
+      problem
   in
-  Option.map (finalize ~config ~cache ~explored problem) best
+  { rec_problem = problem;
+    rec_config = config;
+    rec_cache = cache;
+    rec_preflight = preflight;
+    rec_trail = List.rev !steps;
+    rec_solution = Option.map (finalize ~config ~cache ~explored problem) best;
+    rec_explored = explored }
+
+let run ?pool ?cache ?preflight ?record ~config problem =
+  match record with
+  | Some cell ->
+      let recorded = run_recorded ?pool ?cache ?preflight ~config problem in
+      cell := Some recorded;
+      recorded.rec_solution
+  | None ->
+      Ftes_obs.Metrics.incr c_runs;
+      Ftes_obs.Span.with_ ~name:"strategy/run" @@ fun () ->
+      let best, explored, cache =
+        search ?pool ?cache ?preflight ~config ~on_feasible:(fun _ -> ())
+          problem
+      in
+      Option.map (finalize ~config ~cache ~explored problem) best
+
+let step_equal a b =
+  a.step_members = b.step_members
+  &&
+  match (a.step_verdict, b.step_verdict) with
+  | `Unschedulable, `Unschedulable -> true
+  | `Schedulable x, `Schedulable y -> Float.equal x y
+  | _ -> false
+
+let replayed_prefix base warm =
+  let rec go n = function
+    | a :: at, b :: bt when step_equal a b -> go (n + 1) (at, bt)
+    | _ -> n
+  in
+  go 0 (base, warm)
+
+let rerun ?pool ~from delta =
+  match Ftes_whatif.Delta.apply from.rec_problem delta with
+  | Error _ as e -> e
+  | Ok perturbed ->
+      let config =
+        match Ftes_whatif.Delta.kmax_override delta with
+        | Some kmax -> Config.with_kmax kmax from.rec_config
+        | None -> from.rec_config
+      in
+      let footprint = Ftes_whatif.Delta.footprint from.rec_problem delta in
+      let cache, migration =
+        match from.rec_cache with
+        | Some cache ->
+            let cache, migration =
+              Redundancy_opt.migrate_cache ~base:from.rec_problem ~footprint
+                cache
+            in
+            (Some cache, Some migration)
+        | None -> (None, None)
+      in
+      (* Pre-flight reuse: only when the delta provably cannot weaken
+         the report (tightening-only), and then the stored witnesses are
+         re-checked — not re-derived — against the perturbed tables.
+         Pruning is bit-invisible either way, so dropping the report on
+         a weakening delta costs speed, never correctness. *)
+      let preflight, preflight_reused, witnesses_rechecked =
+        match from.rec_preflight with
+        | Some pf
+          when Ftes_whatif.Delta.cannot_weaken from.rec_problem delta
+               && Ftes_analyze.Preflight.recheck pf perturbed ->
+            ( Some (Ftes_analyze.Preflight.retarget pf perturbed),
+              true,
+              List.length pf.Ftes_analyze.Preflight.witnesses )
+        | _ -> (None, false, 0)
+      in
+      let warm = run_recorded ?pool ?cache ?preflight ~config perturbed in
+      let zero = Option.is_none migration in
+      let stat f = if zero then 0 else f (Option.get migration) in
+      let reuse =
+        { Ftes_whatif.Reuse.delta_class = Ftes_whatif.Delta.class_name delta;
+          sfp_kept = stat (fun m -> m.Redundancy_opt.mig_sfp_kept);
+          sfp_dropped = stat (fun m -> m.Redundancy_opt.mig_sfp_dropped);
+          evals_kept = stat (fun m -> m.Redundancy_opt.mig_evals_kept);
+          evals_dropped = stat (fun m -> m.Redundancy_opt.mig_evals_dropped);
+          probes_kept = stat (fun m -> m.Redundancy_opt.mig_probes_kept);
+          probes_dropped = stat (fun m -> m.Redundancy_opt.mig_probes_dropped);
+          steps_replayed = replayed_prefix from.rec_trail warm.rec_trail;
+          steps_total = List.length warm.rec_trail;
+          preflight_reused;
+          witnesses_rechecked }
+      in
+      Ok (warm, reuse)
 
 type frontier = {
   archive : Archive.t;

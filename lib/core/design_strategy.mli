@@ -27,10 +27,34 @@ val architectures_by_speed : Ftes_model.Problem.t -> n:int -> int array list
     (ascending sum of the nodes' mean minimum-hardening WCETs) —
     [SelectArch] / [SelectNextArch] of Fig. 5. *)
 
+type step = {
+  step_members : int array;  (** the evaluated architecture. *)
+  step_verdict : [ `Schedulable of float | `Unschedulable ];
+      (** accept (with the winning cost) or reject. *)
+}
+(** One entry of a recorded walk.  Steps correspond 1:1 with the
+    [explored] counter's increments and fire only from the walk's
+    deterministic bookkeeping path, so a trail is bit-identical across
+    pool modes and across memoization. *)
+
+type recorded = {
+  rec_problem : Ftes_model.Problem.t;
+  rec_config : Config.t;
+  rec_cache : Redundancy_opt.cache option;
+      (** the populated per-run cache (present when the config memoizes
+          or a cache was supplied) — the warm-start capital. *)
+  rec_preflight : Ftes_analyze.Preflight.t option;
+  rec_trail : step list;  (** evaluated architectures, in walk order. *)
+  rec_solution : solution option;
+  rec_explored : int;
+}
+(** Everything {!rerun} needs to answer a perturbed query warm. *)
+
 val run :
   ?pool:Ftes_par.Pool.t ->
   ?cache:Redundancy_opt.cache ->
   ?preflight:Ftes_analyze.Preflight.t ->
+  ?record:recorded option ref ->
   config:Config.t ->
   Ftes_model.Problem.t ->
   solution option
@@ -64,7 +88,44 @@ val run :
     under {!run_frontier} — the archive are bit-identical to an
     unpruned walk.  Raises [Invalid_argument] when the report was
     derived for a different problem, [kmax] or slack-policy bucket
-    than the config's. *)
+    than the config's.
+
+    [record], when given, is filled with the {!recorded} state of this
+    run (trail, populated cache, pre-flight, solution) for later
+    {!rerun} calls.  Recording does not change the walk. *)
+
+val run_recorded :
+  ?pool:Ftes_par.Pool.t ->
+  ?cache:Redundancy_opt.cache ->
+  ?preflight:Ftes_analyze.Preflight.t ->
+  config:Config.t ->
+  Ftes_model.Problem.t ->
+  recorded
+(** {!run} returning the full recorded state; [rec_solution] is exactly
+    what {!run} would return. *)
+
+val rerun :
+  ?pool:Ftes_par.Pool.t ->
+  from:recorded ->
+  Ftes_whatif.Delta.t ->
+  (recorded * Ftes_whatif.Reuse.t, string) result
+(** Warm re-optimization: apply the delta to the recorded problem
+    (checked — [Error] on an inapplicable delta), migrate the recorded
+    cache keeping exactly the entries the delta's invalidation
+    footprint proves untouched ({!Redundancy_opt.migrate_cache}), reuse
+    the recorded pre-flight when the delta cannot weaken it (witnesses
+    re-checked, not re-derived), and re-walk the space warm.
+
+    Because every surviving cache entry is bit-equal to what a cold run
+    on the perturbed problem would compute, and caching, pruning and
+    recording never change any result, the returned solution, schedule,
+    trail and [explored] count are {e bit-identical} to a cold
+    {!run_recorded} on the perturbed problem under the same config —
+    the qcheck property [test_whatif.ml] enforces per delta class
+    across every slack × bus policy.  The returned {!recorded} is
+    rebased on the perturbed problem, so deltas chain.  The
+    {!Ftes_whatif.Reuse.t} reports what was kept; it is observational
+    only. *)
 
 type frontier = {
   archive : Ftes_pareto.Archive.t;

@@ -85,6 +85,222 @@ let create_cache ?(max_evals = 200_000) () =
 
 let sfp_cache cache = cache.sfp
 
+let locked cache f =
+  Mutex.lock cache.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.mutex) f
+
+(* --- warm-start cache migration -------------------------------------
+
+   [migrate_cache] carries a populated cache across a single-field
+   perturbation of its problem: every entry the delta's invalidation
+   footprint calls clean is provably the same value a cold run on the
+   perturbed problem would compute (the entry's table cells are
+   untouched bits, and caching never changes any result), so keeping it
+   preserves bit-identity while skipping the recomputation.  Entries
+   whose keys mention a removed library node drop; surviving keys (and
+   the member arrays inside stored designs) are renumbered through the
+   footprint's [node_map]. *)
+
+type migration = {
+  mig_sfp_kept : int;
+  mig_sfp_dropped : int;
+  mig_evals_kept : int;
+  mig_evals_dropped : int;
+  mig_probes_kept : int;
+  mig_probes_dropped : int;
+}
+
+let migrate_cache ~base ~(footprint : Ftes_whatif.Delta.footprint) cache =
+  let fp = footprint in
+  let slot_clean node level =
+    (not (fp.Ftes_whatif.Delta.tables_dirty ~node ~level))
+    && not (fp.Ftes_whatif.Delta.pfail_dirty ~node ~level)
+  in
+  (* Probe outcomes range over every level of their members (the
+     escalation climbs the whole ladder), so a member is probe-clean
+     only when all its levels are. *)
+  let node_clean node =
+    let levels = Problem.levels base node in
+    let rec go level = level > levels || (slot_clean node level && go (level + 1)) in
+    go 1
+  in
+  (* Renumber a member array; [None] when a member is gone, the input
+     array itself when the map is the identity on it (preserving
+     physical sharing between key and stored design). *)
+  let remap_members arr =
+    let n = Array.length arr in
+    let out = Array.make n 0 in
+    let rec go i changed =
+      if i = n then Some (if changed then out else arr)
+      else
+        match fp.Ftes_whatif.Delta.node_map arr.(i) with
+        | None -> None
+        | Some j ->
+            out.(i) <- j;
+            go (i + 1) (changed || j <> arr.(i))
+    in
+    go 0 false
+  in
+  (* Most deltas leave the library numbering alone; when they do, every
+     surviving key is its own remap, so both memo tables can reuse the
+     source bucket layout (copy + in-place filter) instead of rehashing
+     thousands of array keys — migration is the floor of a warm rerun. *)
+  let identity_map =
+    let lib = Problem.n_library base in
+    let rec go j =
+      j >= lib || (fp.Ftes_whatif.Delta.node_map j = Some j && go (j + 1))
+    in
+    go 0
+  in
+  let keep_sfp (k : Ftes_par.Sfp_cache.key) =
+    if fp.Ftes_whatif.Delta.pfail_dirty ~node:k.Ftes_par.Sfp_cache.node
+         ~level:k.Ftes_par.Sfp_cache.level
+    then None
+    else
+      Option.map
+        (fun node -> { k with Ftes_par.Sfp_cache.node })
+        (fp.Ftes_whatif.Delta.node_map k.Ftes_par.Sfp_cache.node)
+  in
+  let sfp, (sfp_kept, sfp_dropped) =
+    Ftes_par.Sfp_cache.migrate ~same_keys:identity_map ~keep:keep_sfp cache.sfp
+  in
+  let remap_design members (r : result) =
+    if members == r.design.Design.members then r
+    else { r with design = { r.design with Design.members = members } }
+  in
+  let eval_clean (key : eval_key) =
+    let n = Array.length key.members in
+    let rec clean i =
+      i = n || (slot_clean key.members.(i) key.levels.(i) && clean (i + 1))
+    in
+    clean 0
+  in
+  let probe_clean (key : probe_key) =
+    let n = Array.length key.pr_members in
+    let rec clean i = i = n || (node_clean key.pr_members.(i) && clean (i + 1)) in
+    clean 0
+  in
+  let fix_result policy r =
+    match policy with
+    | `Remap_slack d ->
+        (* Bit-identical to a fresh evaluation: [evaluate_fresh]
+           computes slack as exactly [deadline -. schedule_length], and
+           the schedule never reads the deadline. *)
+        { r with slack = d -. r.schedule_length }
+    | `Keep -> r
+  in
+  let evals_kept = ref 0 and evals_dropped = ref 0 in
+  let probes_kept = ref 0 and probes_dropped = ref 0 in
+  let fresh =
+    locked cache (fun () ->
+        let evals =
+          match fp.Ftes_whatif.Delta.eval_policy with
+          | `Drop ->
+              evals_dropped := Eval_tbl.length cache.evals;
+              Eval_tbl.create 1024
+          | (`Keep | `Remap_slack _) as policy when identity_map ->
+              let t = Eval_tbl.copy cache.evals in
+              Eval_tbl.filter_map_inplace
+                (fun key result ->
+                  if eval_clean key then begin
+                    incr evals_kept;
+                    Some (Option.map (fix_result policy) result)
+                  end
+                  else begin
+                    incr evals_dropped;
+                    None
+                  end)
+                t;
+              t
+          | (`Keep | `Remap_slack _) as policy ->
+              let t = Eval_tbl.create 1024 in
+              Eval_tbl.iter
+                (fun key result ->
+                  let surviving =
+                    if not (eval_clean key) then None
+                    else
+                      match remap_members key.members with
+                      | None -> None
+                      | Some members ->
+                          let key =
+                            if members == key.members then key
+                            else { key with members }
+                          in
+                          let fix r =
+                            remap_design members (fix_result policy r)
+                          in
+                          Some (key, Option.map fix result)
+                  in
+                  match surviving with
+                  | Some (key, result) ->
+                      incr evals_kept;
+                      Eval_tbl.replace t key result
+                  | None -> incr evals_dropped)
+                cache.evals;
+              t
+        in
+        let probes =
+          if not fp.Ftes_whatif.Delta.keep_probes then begin
+            probes_dropped := Probe_tbl.length cache.probes;
+            Probe_tbl.create 1024
+          end
+          else if identity_map then begin
+            let t = Probe_tbl.copy cache.probes in
+            Probe_tbl.filter_map_inplace
+              (fun key outcome ->
+                if probe_clean key then begin
+                  incr probes_kept;
+                  Some outcome
+                end
+                else begin
+                  incr probes_dropped;
+                  None
+                end)
+              t;
+            t
+          end
+          else begin
+            let t = Probe_tbl.create 1024 in
+            Probe_tbl.iter
+              (fun key (result, best_len) ->
+                let surviving =
+                  if not (probe_clean key) then None
+                  else
+                    match remap_members key.pr_members with
+                    | None -> None
+                    | Some pr_members ->
+                        let key =
+                          if pr_members == key.pr_members then key
+                          else { key with pr_members }
+                        in
+                        Some
+                          ( key,
+                            (Option.map (remap_design pr_members) result, best_len)
+                          )
+                in
+                match surviving with
+                | Some (key, outcome) ->
+                    incr probes_kept;
+                    Probe_tbl.replace t key outcome
+                | None -> incr probes_dropped)
+              cache.probes;
+            t
+          end
+        in
+        { sfp;
+          evals;
+          probes;
+          mutex = Mutex.create ();
+          max_evals = cache.max_evals })
+  in
+  ( fresh,
+    { mig_sfp_kept = sfp_kept;
+      mig_sfp_dropped = sfp_dropped;
+      mig_evals_kept = !evals_kept;
+      mig_evals_dropped = !evals_dropped;
+      mig_probes_kept = !probes_kept;
+      mig_probes_dropped = !probes_dropped } )
+
 (* Cache statistics live on the Ftes_obs registry: one source of truth
    for the bench harness (via [eval_stats]), metrics snapshots and the
    `obs/cache-consistency` verifier rule.  [evals.*] counts both the
@@ -277,10 +493,6 @@ let evaluate_fresh ?sfp config problem design levels =
               slack = deadline problem -. schedule_length;
               margin =
                 Sfp.log10_margin problem.Problem.app ~per_iteration_failure })
-
-let locked cache f =
-  Mutex.lock cache.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock cache.mutex) f
 
 let evaluate ?cache config problem design levels =
   match cache with

@@ -63,6 +63,33 @@ val sfp_cache : cache -> Ftes_par.Sfp_cache.t
 (** The SFP node-table layer of [cache], for hit-rate reporting and for
     attaching tables to verifier subjects. *)
 
+type migration = {
+  mig_sfp_kept : int;
+  mig_sfp_dropped : int;
+  mig_evals_kept : int;
+  mig_evals_dropped : int;
+  mig_probes_kept : int;
+  mig_probes_dropped : int;
+}
+(** What {!migrate_cache} kept versus invalidated, per table. *)
+
+val migrate_cache :
+  base:Ftes_model.Problem.t ->
+  footprint:Ftes_whatif.Delta.footprint ->
+  cache ->
+  cache * migration
+(** [migrate_cache ~base ~footprint cache] builds a fresh cache for the
+    perturbed problem the footprint's delta produces when applied to
+    [base] (the problem [cache] was populated for; [cache] itself is
+    left untouched).  Kept entries are exactly those whose keys the
+    footprint proves untouched — every table cell they read is clean and
+    every member survives the library remap — so each one is bit-equal
+    to what a cold run on the perturbed problem would compute, and
+    warm-starting from the migrated cache cannot change any result.
+    Eval results under a deadline-only delta survive with their [slack]
+    rewritten to the same [deadline -. schedule_length] expression a
+    fresh evaluation uses. *)
+
 type eval_stats = { hits : int; misses : int; fresh : int }
 (** [hits] / [misses] count candidate-evaluation and probe cache
     lookups; [fresh] counts evaluations actually computed (re-execution

@@ -1,6 +1,7 @@
 module Json = Ftes_util.Json
 module Config = Ftes_core.Config
 module Redundancy_opt = Ftes_core.Redundancy_opt
+module Design_strategy = Ftes_core.Design_strategy
 module Problem_io = Ftes_model.Problem_io
 module Scheduler = Ftes_sched.Scheduler
 module Bus = Ftes_sched.Bus
@@ -11,16 +12,37 @@ module Clock = Ftes_obs.Clock
 
 (* --- shared evaluation caches --- *)
 
-type caches = { evals : (string, Redundancy_opt.cache) Keyed_cache.t }
+let c_registry_hits = Ftes_obs.Metrics.counter "serve.registry_hits"
+
+let c_registry_misses = Ftes_obs.Metrics.counter "serve.registry_misses"
+
+type caches = {
+  evals : (string, Redundancy_opt.cache) Keyed_cache.t;
+  recorded : (string, Design_strategy.recorded) Keyed_cache.t;
+      (* recorded optimize walks by request id — the base registry
+         what-if requests warm-start from via "base_id". *)
+}
+
+let registry_event = function
+  | `Hit -> Ftes_obs.Metrics.incr c_registry_hits
+  | `Miss -> Ftes_obs.Metrics.incr c_registry_misses
+  | `Drop -> ()
 
 let create_caches ?(max_problems = 64) () =
-  { evals = Keyed_cache.create ~max_entries:max_problems () }
+  { evals = Keyed_cache.create ~max_entries:max_problems ();
+    recorded =
+      Keyed_cache.create ~max_entries:max_problems ~on_event:registry_event ()
+  }
 
 let cache_problems t = Keyed_cache.length t.evals
 
 let cache_hits t = Keyed_cache.hits t.evals
 
 let cache_misses t = Keyed_cache.misses t.evals
+
+let registry_hits t = Keyed_cache.hits t.recorded
+
+let registry_misses t = Keyed_cache.misses t.recorded
 
 (* A Redundancy_opt.cache may be shared by runs over the same problem
    whose configs agree except in the hardening policy, so the bucket
@@ -76,11 +98,39 @@ let best_effort_id line =
 
 let execute ?caches ~enqueued_ns line =
   let started_ns = Clock.now_ns () in
-  let id, verdict, payload, error =
-    match Request.of_string ~on_warning:ignore line with
-    | Error msg -> (best_effort_id line, Response.Failed, Json.Object [], Some msg)
+  (* One counted registry probe per distinct base_id per request,
+     shared between parse-time problem resolution and exec-time base
+     resolution — a problem-less "base_id" request costs one lookup,
+     not two. *)
+  let lookup =
+    Option.map
+      (fun t ->
+        let memo = ref [] in
+        fun id ->
+          match List.assoc_opt id !memo with
+          | Some r -> r
+          | None ->
+              let r = Keyed_cache.find_opt t.recorded id in
+              memo := (id, r) :: !memo;
+              r)
+      caches
+  in
+  let resolve_base =
+    Option.map
+      (fun find id ->
+        Option.map (fun r -> r.Design_strategy.rec_problem) (find id))
+      lookup
+  in
+  let id, verdict, payload, error, warm =
+    match Request.of_string ~on_warning:ignore ?resolve_base line with
+    | Error msg ->
+        (best_effort_id line, Response.Failed, Json.Object [], Some msg, None)
     | Ok req -> (
-        match Exec.run ?cache:(shared_cache caches req) req with
+        match
+          Exec.run ?cache:(shared_cache caches req) ?recorded_of:lookup req
+        with
+        | exception Exec.Rejected msg ->
+            (req.Request.id, Response.Failed, Json.Object [], Some msg, None)
         | exception Ftes_bnb.Bnb.Budget_exhausted n ->
             ( req.Request.id,
               Response.Failed,
@@ -89,14 +139,25 @@ let execute ?caches ~enqueued_ns line =
                 (Printf.sprintf
                    "candidate budget exhausted after %d full evaluations \
                     (raise the limit); no optimality claim is made"
-                   n) )
+                   n),
+              None )
         | exception exn ->
             ( req.Request.id,
               Response.Failed,
               Json.Object [],
-              Some (Printexc.to_string exn) )
+              Some (Printexc.to_string exn),
+              None )
         | outcome ->
-            (req.Request.id, Exec.verdict outcome, Exec.payload req outcome, None))
+            let warm =
+              match outcome with
+              | Exec.Optimized { recorded; reuse; _ } -> Some (recorded, reuse)
+              | _ -> None
+            in
+            ( req.Request.id,
+              Exec.verdict outcome,
+              Exec.payload req outcome,
+              None,
+              warm ))
   in
   let finished_ns = Clock.now_ns () in
   ( id,
@@ -104,24 +165,47 @@ let execute ?caches ~enqueued_ns line =
     payload,
     error,
     started_ns - enqueued_ns,
-    finished_ns - started_ns )
+    finished_ns - started_ns,
+    warm )
 
 let run_lines ?pool ?caches ?(telemetry = true) ?(first_seq = 0) lines =
   let enqueued_ns = Clock.now_ns () in
   let executed = Pool.map ?pool (execute ?caches ~enqueued_ns) lines in
+  (* Register this batch's recorded optimize walks, sequentially and
+     in request order, only after the whole batch executed: a request
+     naming a same-batch base_id therefore fails deterministically,
+     whatever pool schedule ran the batch.  First registration wins,
+     so a duplicated request id cannot retarget an existing base. *)
+  (match caches with
+  | None -> ()
+  | Some t ->
+      List.iter
+        (fun (id, _, _, _, _, _, warm) ->
+          match warm with
+          | Some (Some recorded, _) when id <> "" ->
+              ignore
+                (Keyed_cache.find_or_add t.recorded id (fun () -> recorded))
+          | _ -> ())
+        executed);
   (* One batch-end sample of the process-wide counters for every batch
      member: completion order under the pool is unobservable, and the
      counters stay monotone in seq across batches because they only
-     ever grow. *)
+     ever grow.  The registry is sampled after the registrations above
+     for the same reason. *)
   let sample =
-    if not telemetry then fun _ _ -> None
+    if not telemetry then fun _ _ _ -> None
     else begin
       let totals = Sfp_cache.totals () in
       let evals = Redundancy_opt.eval_stats () in
       let problems =
         match caches with Some t -> cache_problems t | None -> 0
       in
-      fun queue_wait_ns wall_ns ->
+      let reg_hits, reg_misses =
+        match caches with
+        | Some t -> (registry_hits t, registry_misses t)
+        | None -> (0, 0)
+      in
+      fun queue_wait_ns wall_ns reuse ->
         Some
           { Response.queue_wait_ns = max 0 queue_wait_ns;
             wall_ns = max 0 wall_ns;
@@ -129,17 +213,21 @@ let run_lines ?pool ?caches ?(telemetry = true) ?(first_seq = 0) lines =
             sfp_misses = totals.Sfp_cache.total_misses;
             eval_hits = evals.Redundancy_opt.hits;
             eval_misses = evals.Redundancy_opt.misses;
-            cache_problems = problems }
+            cache_problems = problems;
+            registry_hits = reg_hits;
+            registry_misses = reg_misses;
+            reuse }
     end
   in
   List.mapi
-    (fun i (id, verdict, payload, error, queue_wait_ns, wall_ns) ->
+    (fun i (id, verdict, payload, error, queue_wait_ns, wall_ns, warm) ->
+      let reuse = match warm with Some (_, reuse) -> reuse | None -> None in
       { Response.id;
         seq = first_seq + i;
         verdict;
         payload;
         error;
-        telemetry = sample queue_wait_ns wall_ns })
+        telemetry = sample queue_wait_ns wall_ns reuse })
     executed
 
 (* --- the loop --- *)
@@ -188,8 +276,8 @@ let serve ?pool ?caches ?telemetry ?(max_batch = 16) ic oc =
 (* --- self-test --- *)
 
 let audit ?pool ?caches () =
-  let req id command example =
-    match Request.make ~id command (`Example example) with
+  let req ?whatif id command example =
+    match Request.make ~id ?whatif command (`Example example) with
     | Ok r -> Request.to_string r
     | Error e -> failwith ("Daemon.audit: " ^ e)
   in
@@ -202,6 +290,14 @@ let audit ?pool ?caches () =
              objectives = Ftes_pareto.Objective.all;
              ref_cost = None })
         "fig1";
+      (* A one-shot what-if (no base_id: cold base walk plus warm
+         rerun in the same request) so the audited stream exercises
+         the whatif/* rules. *)
+      req "audit-whatif"
+        ~whatif:
+          { Request.base_id = None;
+            delta = Ftes_whatif.Delta.Deadline_scale 0.95 }
+        Request.Optimize "fig1";
       (* A deliberately malformed line: the audited stream must show
          the daemon answering garbage with a structured error. *)
       "{\"schema_version\": 1, \"id\": \"audit-bad\", \"command\": \
@@ -224,4 +320,6 @@ let audit ?pool ?caches () =
       envelopes
   in
   ( responses,
-    Ftes_verify.Verify.run ~rules:Ftes_verify.Serve_rules.all subject )
+    Ftes_verify.Verify.run
+      ~rules:(Ftes_verify.Serve_rules.all @ Ftes_verify.Whatif_rules.all)
+      subject )

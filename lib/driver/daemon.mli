@@ -21,7 +21,11 @@ type caches
     on (problem fingerprint, slack, bus, kmax) — the exact bucket
     {!Ftes_core.Redundancy_opt.cache} sharing is sound for (hardening
     strategy deliberately excluded: probe outcomes are segregated by
-    policy inside each cache). *)
+    policy inside each cache) — plus a registry of recorded optimize
+    walks keyed on request id, the base trail what-if requests
+    warm-start from via ["base_id"].  The recorded registry feeds the
+    [serve.registry_hits] / [serve.registry_misses] obs counters
+    through its event hook. *)
 
 val create_caches : ?max_problems:int -> unit -> caches
 (** Fresh registry retaining at most [max_problems] (default 64)
@@ -37,6 +41,14 @@ val cache_misses : caches -> int
 (** Registry-level lookups: a hit means a request reused another
     request's warm evaluation cache. *)
 
+val registry_hits : caches -> int
+
+val registry_misses : caches -> int
+(** Recorded-walk registry lookups: a hit means a ["base_id"] resolved
+    to a recorded optimize walk (or a re-registration found its id
+    already taken); a miss is an unknown base or a first-time
+    registration. *)
+
 val run_lines :
   ?pool:Ftes_par.Pool.t ->
   ?caches:caches ->
@@ -47,11 +59,19 @@ val run_lines :
 (** Execute one batch of request lines.  Responses come back 1:1 and
     in input order, numbered [first_seq], [first_seq + 1], …  (default
     0).  Parse failures, unknown versions and execution errors
-    (including {!Ftes_bnb.Bnb.Budget_exhausted}) become
-    [verdict = "error"] responses — never exceptions.  [telemetry]
-    (default [true]) attaches queue-wait / wall-time and the
-    process-wide cache counters sampled at batch end (so they are
-    monotone in [seq] across any batching). *)
+    (including {!Ftes_bnb.Bnb.Budget_exhausted} and unservable
+    what-if requests, {!Exec.Rejected}) become [verdict = "error"]
+    responses — never exceptions.  [telemetry] (default [true])
+    attaches queue-wait / wall-time and the process-wide cache
+    counters sampled at batch end (so they are monotone in [seq]
+    across any batching), plus the per-request what-if reuse block on
+    warm-started responses.
+
+    Each optimize request's recorded walk is registered under its
+    request id {e after} the whole batch executed (sequentially, in
+    request order, first registration winning), so a request naming a
+    same-batch ["base_id"] fails deterministically whatever pool
+    schedule ran the batch. *)
 
 type stats = {
   requests : int;  (** responses emitted. *)
@@ -78,7 +98,7 @@ val audit :
   unit ->
   Response.t list * Ftes_verify.Report.t
 (** Self-test behind [ftes serve --audit] and the CI smoke alias:
-    drive a mixed built-in batch (analyze, optimize, pareto, plus a
-    deliberately malformed line) through {!run_lines}, re-parse the
-    emitted wire bytes, and run the [serve/*] rules over the captured
-    stream. *)
+    drive a mixed built-in batch (analyze, optimize, pareto, a
+    one-shot what-if, plus a deliberately malformed line) through
+    {!run_lines}, re-parse the emitted wire bytes, and run the
+    [serve/*] and [whatif/*] rules over the captured stream. *)

@@ -15,12 +15,21 @@ module Verify = Ftes_verify.Verify
 module Report = Ftes_verify.Report
 module Subject = Ftes_verify.Subject
 
+exception Rejected of string
+
 type outcome =
   | Analyzed of {
       preflight : Preflight.t;
       certificate : Certificate.t;
     }
-  | Optimized of { solution : Design_strategy.solution option }
+  | Optimized of {
+      solution : Design_strategy.solution option;
+      recorded : Design_strategy.recorded option;
+          (** the walk's recorded state — registry capital for later
+              warm starts ([None] only if recording was impossible). *)
+      reuse : Ftes_whatif.Reuse.t option;
+          (** present exactly when this outcome was warm-started. *)
+    }
   | Proved of { outcome : Bnb.outcome; report : Report.t }
   | Frontiered of {
       frontier : Design_strategy.frontier;
@@ -60,7 +69,18 @@ let default_reference problem =
 
 (* --- execution --- *)
 
-let run ?cache (req : Request.t) =
+(* A warm start is only sound against a base walk over the same
+   problem under the same config: anything else would splice a foreign
+   cache into the walk.  Problems compare by their canonical v1 wire
+   bytes (same convention as the daemon's cache bucket key). *)
+let problem_bytes p =
+  Json.to_string ~minify:true (Ftes_model.Problem_io.to_json p)
+
+let base_matches (base : Design_strategy.recorded) ~config ~problem =
+  base.Design_strategy.rec_config = config
+  && problem_bytes base.Design_strategy.rec_problem = problem_bytes problem
+
+let run ?cache ?recorded_of (req : Request.t) =
   let config = req.Request.config in
   let problem = req.Request.problem in
   match req.Request.command with
@@ -70,11 +90,56 @@ let run ?cache (req : Request.t) =
           problem
       in
       Analyzed { preflight; certificate = Certificate.of_preflight preflight }
-  | Request.Optimize ->
+  | Request.Optimize -> (
       (* Self-certify: the verifier report on the emitted triple is
          part of the payload, so certify is always on here. *)
       let config = Config.with_certify true config in
-      Optimized { solution = Design_strategy.run ?cache ~config problem }
+      match req.Request.whatif with
+      | None ->
+          let record = ref None in
+          let solution =
+            Design_strategy.run ?cache ~record ~config problem
+          in
+          Optimized { solution; recorded = !record; reuse = None }
+      | Some { Request.base_id; delta } ->
+          let base =
+            match base_id with
+            | None ->
+                (* One-shot what-if: walk the base cold in the same
+                   request, then rerun the delta warm off it. *)
+                Design_strategy.run_recorded ?cache ~config problem
+            | Some id -> (
+                match recorded_of with
+                | None ->
+                    raise
+                      (Rejected
+                         "base_id needs a resident session (no recorded-walk \
+                          registry here)")
+                | Some find -> (
+                    match find id with
+                    | None ->
+                        raise
+                          (Rejected
+                             (Printf.sprintf
+                                "no recorded optimize walk under base_id %S"
+                                id))
+                    | Some base ->
+                        if base_matches base ~config ~problem then base
+                        else
+                          raise
+                            (Rejected
+                               (Printf.sprintf
+                                  "base_id %S was recorded under a different \
+                                   problem or policy than this request"
+                                  id))))
+          in
+          (match Design_strategy.rerun ~from:base delta with
+          | Error msg -> raise (Rejected ("delta rejected: " ^ msg))
+          | Ok (warm, reuse) ->
+              Optimized
+                { solution = warm.Design_strategy.rec_solution;
+                  recorded = Some warm;
+                  reuse = Some reuse }))
   | Request.Exact { limit } ->
       (* The proof is the point: always self-audit the emitted
          certificate, whatever the strategy's certify default.  The
@@ -125,8 +190,8 @@ let verdict = function
   | Analyzed { preflight; _ } ->
       if Preflight.feasible preflight then Response.Feasible
       else Response.Infeasible
-  | Optimized { solution = None } -> Response.No_solution
-  | Optimized { solution = Some s } -> (
+  | Optimized { solution = None; _ } -> Response.No_solution
+  | Optimized { solution = Some s; _ } -> (
       match s.Design_strategy.certificate with
       | Some report when not (Report.ok report) -> Response.Lint_failure
       | _ -> Response.Feasible)
@@ -186,9 +251,9 @@ let payload (req : Request.t) outcome =
       report_json ~source ~strategy
         [ ("feasible", Json.Bool (Preflight.feasible preflight));
           ("analysis", Certificate_io.to_json certificate) ]
-  | Optimized { solution = None } ->
+  | Optimized { solution = None; _ } ->
       report_json ~source ~strategy [ ("feasible", Json.Bool false) ]
-  | Optimized { solution = Some s } ->
+  | Optimized { solution = Some s; _ } ->
       report_json ~source ~strategy
         (( "feasible", Json.Bool true )
          :: ( "explored",

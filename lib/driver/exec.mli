@@ -18,12 +18,26 @@
     invisible, see {!Ftes_core.Redundancy_opt}) — the property the
     serve tests and the bench fingerprint check enforce. *)
 
+exception Rejected of string
+(** A request that is well-formed on the wire but unservable here:
+    unknown [base_id], base recorded under a different problem/policy,
+    or an inapplicable delta.  Frontends turn it into a structured
+    error response, exactly like a parse failure. *)
+
 type outcome =
   | Analyzed of {
       preflight : Ftes_analyze.Preflight.t;
       certificate : Ftes_analyze.Certificate.t;
     }
-  | Optimized of { solution : Ftes_core.Design_strategy.solution option }
+  | Optimized of {
+      solution : Ftes_core.Design_strategy.solution option;
+      recorded : Ftes_core.Design_strategy.recorded option;
+          (** the optimize walk's recorded state — what a daemon
+              registers under the request id so later what-if requests
+              can warm-start from it via ["base_id"]. *)
+      reuse : Ftes_whatif.Reuse.t option;
+          (** reuse report, present exactly on warm-started outcomes. *)
+    }
   | Proved of {
       outcome : Ftes_bnb.Bnb.outcome;
       report : Ftes_verify.Report.t;
@@ -35,14 +49,28 @@ type outcome =
     }
 
 val run :
-  ?cache:Ftes_core.Redundancy_opt.cache -> Request.t -> outcome
+  ?cache:Ftes_core.Redundancy_opt.cache ->
+  ?recorded_of:(string -> Ftes_core.Design_strategy.recorded option) ->
+  Request.t ->
+  outcome
 (** Execute the request.  [cache] shares SFP tables and candidate
     evaluations with other runs over the same problem and policy
     bucket (the daemon's cross-request warm cache); results are
-    bit-identical with or without it.  Raises
-    {!Ftes_bnb.Bnb.Budget_exhausted} when an exact request's
-    evaluation budget runs out — frontends turn that into an error
-    report / [Failed] response. *)
+    bit-identical with or without it.
+
+    A what-if request (see {!Request.t.whatif}) resolves its base walk
+    through [recorded_of] when it names a ["base_id"] — the base must
+    have been recorded under the same problem and config, else
+    {!Rejected} — or walks the base cold in the same request when it
+    does not, then answers via {!Ftes_core.Design_strategy.rerun}.
+    Either way the payload is byte-identical to a cold optimize of the
+    perturbed problem; only the telemetry-side {!outcome} fields
+    ([recorded], [reuse]) differ.
+
+    Raises {!Ftes_bnb.Bnb.Budget_exhausted} when an exact request's
+    evaluation budget runs out, and {!Rejected} on unservable what-if
+    requests — frontends turn both into an error report / [Failed]
+    response. *)
 
 val verdict : outcome -> Response.verdict
 

@@ -27,14 +27,17 @@ let command_name = function
   | Exact _ -> "exact"
   | Pareto _ -> "pareto"
 
+type whatif = { base_id : string option; delta : Ftes_whatif.Delta.t }
+
 type t = {
   id : string;
   command : command;
   strategy : string;
   config : Config.t;
   problem : Problem.t;
-  origin : [ `Example of string | `Inline ];
+  origin : [ `Example of string | `Inline | `Base of string ];
   source : string;
+  whatif : whatif option;
 }
 
 (* --- problem & strategy resolution (moved from bin/cli_driver) --- *)
@@ -133,11 +136,31 @@ let command_of_json name json =
         (Printf.sprintf
            "unknown command %S (try analyze, optimize, exact, pareto)" other)
 
-let of_json ?on_warning json =
+(* Forward compatibility: a v1 envelope carrying a field this build
+   does not know is served, not rejected — the unknown field is ignored
+   with a warning, so envelope growth (as "base_id"/"delta" grew in
+   this version) can never strand an older daemon. *)
+let known_fields =
+  [ "schema_version"; "id"; "command"; "strategy"; "slack"; "bus"; "kmax";
+    "problem"; "example"; "limit"; "eps"; "objectives"; "ref_cost"; "base_id";
+    "delta" ]
+
+let warn_unknown ?on_warning json =
+  match (json, on_warning) with
+  | Json.Object fields, Some warn ->
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem key known_fields) then
+            warn (Printf.sprintf "request: ignoring unknown field %S" key))
+        fields
+  | _ -> ()
+
+let of_json ?on_warning ?resolve_base json =
   let* () =
     Versioned_json.check ~what:"request" ~accept_v0:true ?on_warning
       ~current:schema_version json
   in
+  warn_unknown ?on_warning json;
   let* id = Result.bind (Json.member "id" json) Json.to_string_value in
   if id = "" then Error "id must be a non-empty string"
   else
@@ -165,6 +188,20 @@ let of_json ?on_warning json =
          | None -> Fun.id)
       |> match bus with Some b -> Config.with_bus b | None -> Fun.id
     in
+    let* delta = optional "delta" json Ftes_whatif.Delta.of_json in
+    let* base_id =
+      optional "base_id" json (fun v ->
+          let* id = Json.to_string_value v in
+          if id = "" then Error "base_id must be a non-empty string" else Ok id)
+    in
+    let* whatif =
+      match (delta, base_id) with
+      | None, None -> Ok None
+      | None, Some _ -> Error "base_id requires a \"delta\""
+      | Some _, _ when command <> Optimize ->
+          Error "\"delta\" is only valid on an optimize request"
+      | Some delta, base_id -> Ok (Some { base_id; delta })
+    in
     let* problem, origin, source =
       match (Json.member "problem" json, Json.member "example" json) with
       | Ok _, Ok _ -> Error "give either \"problem\" or \"example\", not both"
@@ -176,14 +213,28 @@ let of_json ?on_warning json =
           let* name = Json.to_string_value name in
           let* problem = problem_of_example name in
           Ok (problem, `Example name, "example:" ^ name)
-      | Error _, Error _ ->
-          Error "request carries neither \"problem\" nor \"example\""
+      | Error _, Error _ -> (
+          (* A what-if request may name its base instead of carrying a
+             problem; the daemon resolves the id against its registry of
+             recorded runs. *)
+          match whatif with
+          | Some { base_id = Some base; _ } -> (
+              match resolve_base with
+              | None ->
+                  Error
+                    "base_id needs a resident session (no base resolver here)"
+              | Some resolve -> (
+                  match resolve base with
+                  | Some problem -> Ok (problem, `Base base, "base:" ^ base)
+                  | None ->
+                      Error (Printf.sprintf "unknown base request id %S" base)))
+          | _ -> Error "request carries neither \"problem\" nor \"example\"")
     in
-    Ok { id; command; strategy; config; problem; origin; source }
+    Ok { id; command; strategy; config; problem; origin; source; whatif }
 
-let of_string ?on_warning line =
+let of_string ?on_warning ?resolve_base line =
   let* json = Json.of_string line in
-  of_json ?on_warning json
+  of_json ?on_warning ?resolve_base json
 
 (* --- emission --- *)
 
@@ -219,17 +270,27 @@ let to_json t =
     in
     slack @ bus @ kmax
   in
+  let whatif_fields =
+    match t.whatif with
+    | None -> []
+    | Some { base_id; delta } ->
+        (match base_id with
+        | Some base -> [ ("base_id", Json.String base) ]
+        | None -> [])
+        @ [ ("delta", Ftes_whatif.Delta.to_json delta) ]
+  in
   let problem_field =
     match t.origin with
     | `Example name -> [ ("example", Json.String name) ]
     | `Inline -> [ ("problem", Problem_io.to_json t.problem) ]
+    | `Base _ -> [] (* the base_id field names the problem *)
   in
   Json.Object
     ([ Versioned_json.field schema_version;
        ("id", Json.String t.id);
        ("command", Json.String (command_name t.command));
        ("strategy", Json.String t.strategy) ]
-    @ command_fields t.command @ policy_fields @ problem_field)
+    @ command_fields t.command @ policy_fields @ whatif_fields @ problem_field)
 
 let to_string t = Json.to_string ~minify:true (to_json t)
 
@@ -237,7 +298,7 @@ let to_string t = Json.to_string ~minify:true (to_json t)
 
 let counter = Atomic.make 0
 
-let make ?id ?(strategy = "opt") ?slack ?bus ?kmax command problem =
+let make ?id ?(strategy = "opt") ?slack ?bus ?kmax ?whatif command problem =
   let* config = config_of_strategy strategy in
   let config =
     config
@@ -265,4 +326,13 @@ let make ?id ?(strategy = "opt") ?slack ?bus ?kmax command problem =
     | None -> Printf.sprintf "req-%d" (Atomic.fetch_and_add counter 1)
   in
   if id = "" then Error "id must be a non-empty string"
-  else Ok { id; command; strategy; config; problem; origin; source }
+  else
+    let* () =
+      match whatif with
+      | Some _ when command <> Optimize ->
+          Error "a delta is only valid on an optimize request"
+      | Some { base_id = Some ""; _ } ->
+          Error "base_id must be a non-empty string"
+      | Some _ | None -> Ok ()
+    in
+    Ok { id; command; strategy; config; problem; origin; source; whatif }

@@ -19,12 +19,20 @@
       ["dedicated"]; ["bus"] (default ["fcfs"]): ["fcfs"] or
       [{"tdma": {"slot_ms": 2.0}}]; ["kmax"]: the re-execution bound;
     - command options: ["limit"] (exact), ["eps"] / ["objectives"] /
-      ["ref_cost"] (pareto).
+      ["ref_cost"] (pareto);
+    - what-if options (optimize only): ["delta"] (a
+      {!Ftes_whatif.Delta} document) perturbs the problem before
+      optimization, and ["base_id"] names an earlier optimize request
+      whose recorded walk the answer warm-starts from — with a
+      ["base_id"], ["problem"]/["example"] may be omitted entirely and
+      the base's problem is resolved from the session registry.
 
     The envelope follows the {!Ftes_util.Versioned_json} conventions:
     versionless requests are accepted as v0 with a warning, unknown
     versions are rejected (with a structured error response, not a
-    daemon crash). *)
+    daemon crash).  Unknown {e fields} in a known version are ignored
+    with a warning — never rejected — so envelope growth cannot strand
+    an older daemon. *)
 
 type command =
   | Analyze
@@ -39,6 +47,13 @@ type command =
 val command_name : command -> string
 (** ["analyze"], ["optimize"], ["exact"], ["pareto"]. *)
 
+type whatif = {
+  base_id : string option;
+      (** earlier optimize request to warm-start from; [None] means the
+          base walk is computed cold in the same request. *)
+  delta : Ftes_whatif.Delta.t;
+}
+
 type t = {
   id : string;  (** echoed verbatim in the response envelope. *)
   command : command;
@@ -46,10 +61,13 @@ type t = {
   config : Ftes_core.Config.t;
       (** fully resolved: strategy policy, slack, bus, kmax. *)
   problem : Ftes_model.Problem.t;
-  origin : [ `Example of string | `Inline ];
+      (** for a what-if request, the {e base} problem; the delta is
+          applied by {!Exec.run}. *)
+  origin : [ `Example of string | `Inline | `Base of string ];
   source : string;
-      (** the subject string reports carry: ["example:cc"] or
-          ["inline:<application name>"]. *)
+      (** the subject string reports carry: ["example:cc"],
+          ["inline:<application name>"] or ["base:<request id>"]. *)
+  whatif : whatif option;  (** optimize-only perturbation envelope. *)
 }
 
 val schema_version : int
@@ -59,11 +77,22 @@ val problem_of_example : string -> (Ftes_model.Problem.t, string) result
 
 val config_of_strategy : string -> (Ftes_core.Config.t, string) result
 
-val of_json : ?on_warning:(string -> unit) -> Ftes_util.Json.t -> (t, string) result
+val of_json :
+  ?on_warning:(string -> unit) ->
+  ?resolve_base:(string -> Ftes_model.Problem.t option) ->
+  Ftes_util.Json.t ->
+  (t, string) result
 
-val of_string : ?on_warning:(string -> unit) -> string -> (t, string) result
+val of_string :
+  ?on_warning:(string -> unit) ->
+  ?resolve_base:(string -> Ftes_model.Problem.t option) ->
+  string ->
+  (t, string) result
 (** Parse one request line.  Never raises: malformed JSON, unknown
-    versions/commands and invalid problems all come back as [Error]. *)
+    versions/commands and invalid problems all come back as [Error].
+    [resolve_base] maps a ["base_id"] to its recorded problem when the
+    request carries no ["problem"]/["example"] of its own; without a
+    resolver such requests are rejected. *)
 
 val to_json : t -> Ftes_util.Json.t
 (** Re-emit the request (inline problems are embedded as full
@@ -79,6 +108,7 @@ val make :
   ?slack:Ftes_sched.Scheduler.slack_mode ->
   ?bus:Ftes_sched.Bus.policy ->
   ?kmax:int ->
+  ?whatif:whatif ->
   command ->
   [ `Example of string | `Problem of Ftes_model.Problem.t ] ->
   (t, string) result

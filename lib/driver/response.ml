@@ -35,6 +35,9 @@ type telemetry = {
   eval_hits : int;
   eval_misses : int;
   cache_problems : int;
+  registry_hits : int;
+  registry_misses : int;
+  reuse : Ftes_whatif.Reuse.t option;
 }
 
 type t = {
@@ -50,7 +53,7 @@ let int_field name v = (name, Json.Number (float_of_int v))
 
 let telemetry_json t =
   Json.Object
-    [ int_field "queue_wait_ns" t.queue_wait_ns;
+    ([ int_field "queue_wait_ns" t.queue_wait_ns;
       int_field "wall_ns" t.wall_ns;
       ( "sfp_cache",
         Json.Object
@@ -59,7 +62,15 @@ let telemetry_json t =
         Json.Object
           [ int_field "hits" t.eval_hits; int_field "misses" t.eval_misses ]
       );
+      ( "registry",
+        Json.Object
+          [ int_field "hits" t.registry_hits;
+            int_field "misses" t.registry_misses ] );
       int_field "cache_problems" t.cache_problems ]
+    @
+    match t.reuse with
+    | Some reuse -> [ ("whatif", Ftes_whatif.Reuse.to_json reuse) ]
+    | None -> [])
 
 let to_json t =
   Json.Object
@@ -97,7 +108,16 @@ let telemetry_of_json json =
   let* wall_ns = int "wall_ns" in
   let* sfp_hits, sfp_misses = pair "sfp_cache" json in
   let* eval_hits, eval_misses = pair "evals" json in
+  (* "registry" arrived with the what-if engine; pre-whatif envelopes
+     simply lack it, so absence parses as zero rather than an error. *)
+  let* registry_hits, registry_misses =
+    match pair "registry" json with
+    | Ok counts -> Ok counts
+    | Error _ when Result.is_error (Json.member "registry" json) -> Ok (0, 0)
+    | Error _ as e -> e
+  in
   let* cache_problems = int "cache_problems" in
+  let* reuse = optional "whatif" json Ftes_whatif.Reuse.of_json in
   Ok
     { queue_wait_ns;
       wall_ns;
@@ -105,7 +125,10 @@ let telemetry_of_json json =
       sfp_misses;
       eval_hits;
       eval_misses;
-      cache_problems }
+      cache_problems;
+      registry_hits;
+      registry_misses;
+      reuse }
 
 let of_json ?on_warning json =
   let* () =

@@ -44,6 +44,15 @@ type telemetry = {
   eval_misses : int;
   cache_problems : int;
       (** distinct problem/policy cache keys the daemon holds. *)
+  registry_hits : int;
+      (** recorded-walk registry totals (what-if warm starts), monotone
+          like the cache counters; wire object ["registry"], absent in
+          pre-whatif envelopes and parsed as 0 then. *)
+  registry_misses : int;
+  reuse : Ftes_whatif.Reuse.t option;
+      (** what-if reuse report (wire key ["whatif"]), present exactly
+          on warm-started responses.  Telemetry, so fingerprint-excluded
+          like everything else in this record. *)
 }
 
 type t = {

@@ -2,17 +2,19 @@ type ('k, 'v) t = {
   lock : Mutex.t;
   table : ('k, 'v) Hashtbl.t;
   max_entries : int;
+  on_event : [ `Hit | `Miss | `Drop ] -> unit;
   mutable hits : int;
   mutable misses : int;
   mutable drops : int;
 }
 
-let create ?(max_entries = 256) () =
+let create ?(max_entries = 256) ?(on_event = fun _ -> ()) () =
   if max_entries < 1 then
     invalid_arg "Keyed_cache.create: max_entries must be positive";
   { lock = Mutex.create ();
     table = Hashtbl.create 16;
     max_entries;
+    on_event;
     hits = 0;
     misses = 0;
     drops = 0 }
@@ -26,14 +28,31 @@ let find_or_add t key build =
       match Hashtbl.find_opt t.table key with
       | Some v ->
           t.hits <- t.hits + 1;
+          t.on_event `Hit;
           v
       | None ->
           t.misses <- t.misses + 1;
+          t.on_event `Miss;
           let v = build () in
           if Hashtbl.length t.table < t.max_entries then
             Hashtbl.replace t.table key v
-          else t.drops <- t.drops + 1;
+          else begin
+            t.drops <- t.drops + 1;
+            t.on_event `Drop
+          end;
           v)
+
+let find_opt t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+          t.hits <- t.hits + 1;
+          t.on_event `Hit;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          t.on_event `Miss;
+          None)
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 

@@ -15,15 +15,25 @@
 
 type ('k, 'v) t
 
-val create : ?max_entries:int -> unit -> ('k, 'v) t
+val create :
+  ?max_entries:int ->
+  ?on_event:([ `Hit | `Miss | `Drop ] -> unit) ->
+  unit ->
+  ('k, 'v) t
 (** Fresh empty store.  Once [max_entries] (default 256) keys are
     stored, further misses build the value without retaining it, so a
     stream of one-off problems cannot grow the daemon's footprint
-    without bound (each drop counts under {!drops}). *)
+    without bound (each drop counts under {!drops}).  [on_event] fires
+    under the store's lock on every lookup outcome — the daemon hooks
+    it to the [serve.registry_hits] / [serve.registry_misses] obs
+    counters — so it must be cheap and must not re-enter the store. *)
 
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_add t key build] returns the stored value for [key],
     building and storing it with [build] on first sight. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Pure lookup; counts as a hit or miss like {!find_or_add}. *)
 
 val length : ('k, 'v) t -> int
 

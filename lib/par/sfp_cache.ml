@@ -134,6 +134,48 @@ let node_analysis t problem design ~member ~kmax =
 let node_vectors t problem design ~member ~kmax =
   (node_entry t problem design ~member ~kmax).vectors
 
+let migrate ?(same_keys = false) ~keep t =
+  let kept = ref 0 and dropped = ref 0 in
+  let fresh =
+    if same_keys then begin
+      (* Keys survive verbatim, so a bucket-preserving copy plus an
+         in-place filter skips rehashing every (node, level, kmax,
+         procs) key — migration is the floor of a warm what-if rerun,
+         and the rehash dominated it. *)
+      let table = locked t (fun () -> Key_tbl.copy t.table) in
+      Key_tbl.filter_map_inplace
+        (fun key entry ->
+          if Option.is_some (keep key) then begin
+            incr kept;
+            Some entry
+          end
+          else begin
+            incr dropped;
+            None
+          end)
+        table;
+      { table;
+        mutex = Mutex.create ();
+        max_entries = t.max_entries;
+        hits = Atomic.make 0;
+        misses = Atomic.make 0 }
+    end
+    else begin
+      let fresh = create ~max_entries:t.max_entries () in
+      locked t (fun () ->
+          Key_tbl.iter
+            (fun key entry ->
+              match keep key with
+              | Some key' ->
+                  incr kept;
+                  Key_tbl.replace fresh.table key' entry
+              | None -> incr dropped)
+            t.table);
+      fresh
+    end
+  in
+  (fresh, (!kept, !dropped))
+
 let hits t = Atomic.get t.hits
 
 let misses t = Atomic.get t.misses

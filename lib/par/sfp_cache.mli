@@ -61,6 +61,25 @@ val node_vectors :
     the incremental re-execution kernel's one-lookup read.  Both views
     share one cache entry, so a hit on either serves the other. *)
 
+val migrate :
+  ?same_keys:bool -> keep:(key -> key option) -> t -> t * (int * int)
+(** [migrate ~keep t] builds a fresh cache (same capacity, zeroed
+    per-instance counters) holding every entry of [t] whose key [keep]
+    maps to [Some key'], stored under [key'].  [t] is left untouched.
+    Returns the new cache with [(kept, dropped)] counts.
+
+    [same_keys] promises that [keep] only ever answers [None] or the
+    entry's own key (no renumbering) — true for every delta whose
+    [node_map] is the identity — and lets the migration reuse the
+    source table's bucket layout instead of rehashing each key.
+
+    This is the warm-start survival pass: the caller proves — via
+    {!Ftes_whatif.Delta.footprint} — that the surviving keys' analyses
+    are bit-identical on the perturbed problem (the key's probability
+    cells are untouched and [kmax] is part of the key), and remaps
+    library indices when the delta reshaped the library.  [keep] must
+    be injective on the kept keys. *)
+
 val hits : t -> int
 
 val misses : t -> int

@@ -158,9 +158,13 @@ let check_telemetry subject =
     [ ("queue_wait_ns", false); ("wall_ns", false);
       ("cache_problems", true) ]
   in
+  (* "registry" (the recorded-walk registry behind what-if warm
+     starts) postdates the first envelope version, so its absence is
+     tolerated — a pre-whatif capture still audits clean. *)
   let nested =
-    [ ("sfp_cache", "hits"); ("sfp_cache", "misses"); ("evals", "hits");
-      ("evals", "misses") ]
+    [ ("sfp_cache", "hits", `Required); ("sfp_cache", "misses", `Required);
+      ("evals", "hits", `Required); ("evals", "misses", `Required);
+      ("registry", "hits", `Optional); ("registry", "misses", `Optional) ]
   in
   let read_nested outer inner tel =
     Result.bind (Json.member outer tel) (fun v ->
@@ -201,11 +205,14 @@ let check_telemetry subject =
              in
              let shared =
                List.concat_map
-                 (fun (outer, inner) ->
+                 (fun (outer, inner, presence) ->
                    let key = outer ^ "." ^ inner in
-                   match read_nested outer inner tel with
-                   | Error e -> [ D.error ~rule "%s: %s" who e ]
-                   | Ok v ->
+                   match (read_nested outer inner tel, presence) with
+                   | Error _, `Optional
+                     when Result.is_error (Json.member outer tel) ->
+                       []
+                   | Error e, _ -> [ D.error ~rule "%s: %s" who e ]
+                   | Ok v, _ ->
                        let last =
                          Option.value ~default:0 (Hashtbl.find_opt prev key)
                        in

@@ -17,6 +17,9 @@
     - [serve/verdict]: the envelope verdict agrees with the payload's
       own ["feasible"] claim.
     - [serve/telemetry]: per-request counters are non-negative and the
-      process-wide cache counters never decrease along the stream. *)
+      process-wide cache counters — including the recorded-walk
+      ["registry"] pair when present (it postdates the first envelope
+      version, so absence is tolerated) — never decrease along the
+      stream. *)
 
 val all : Rule.t list

@@ -324,7 +324,10 @@ let test_response_roundtrip () =
             sfp_misses = 8;
             eval_hits = 9;
             eval_misses = 10;
-            cache_problems = 2 } }
+            cache_problems = 2;
+            registry_hits = 1;
+            registry_misses = 4;
+            reuse = None } }
   in
   let line = Response.to_line resp in
   Alcotest.(check string) "re-emitted bytes" line
@@ -440,10 +443,144 @@ let test_rule_mutations () =
          | Error _ -> json)
        stream)
 
+(* --- forward compatibility: unknown optional request fields --- *)
+
+(* A v1 envelope may grow optional fields (as base_id/delta did); an
+   older server must serve such a request, warning about — not
+   rejecting — what it does not understand. *)
+let test_unknown_field_forward_compat () =
+  let line =
+    {|{"schema_version": 1, "id": "fc", "command": "analyze", "example": "fig1", "x_future_hint": {"nested": true}}|}
+  in
+  let warnings = ref [] in
+  let req =
+    ok_exn
+      (Request.of_string ~on_warning:(fun w -> warnings := w :: !warnings) line)
+  in
+  Alcotest.(check string) "request parsed" "fc" req.Request.id;
+  Alcotest.(check bool) "warning names the ignored field" true
+    (List.exists (fun w -> Helpers.contains w "x_future_hint") !warnings);
+  (* Parsing must also succeed with no warning sink installed. *)
+  let _ = ok_exn (Request.of_string line) in
+  (* And the daemon serves the request rather than failing it. *)
+  match Daemon.run_lines [ line ] with
+  | [ r ] ->
+      Alcotest.(check bool) "served, not rejected" true
+        (r.Response.verdict <> Response.Failed)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+(* --- warm what-if requests through the daemon --- *)
+
+module Delta = Ftes_whatif.Delta
+
+(* Payloads embed their subject spelling ("example:fig1" vs "base:b0"),
+   which is presentation, not result; normalize it before comparing
+   across origins. *)
+let payload_sans_subject (r : Response.t) =
+  Json.to_string ~minify:true (set "subject" (Json.String "-") r.Response.payload)
+
+let whatif_wire_line = String.concat ""
+    [ {|{"schema_version": 1, "id": "w1", "command": "optimize", |};
+      {|"base_id": "b0", "delta": {"class": "deadline-scale", "factor": 0.95}}|} ]
+
+let test_whatif_daemon_warm () =
+  let caches = Daemon.create_caches () in
+  let base_line =
+    Request.to_string
+      (ok_exn (Request.make ~id:"b0" Request.Optimize (`Example "fig1")))
+  in
+  (* Same-batch reference: registration is post-batch, so the warm
+     request deterministically fails whatever the pool schedule. *)
+  (match Daemon.run_lines ~caches [ base_line; whatif_wire_line ] with
+  | [ b; w ] ->
+      Alcotest.(check bool) "base feasible" true
+        (b.Response.verdict = Response.Feasible);
+      Alcotest.(check bool) "same-batch base_id rejected" true
+        (w.Response.verdict = Response.Failed);
+      Alcotest.(check bool) "error names the unknown base" true
+        (match w.Response.error with
+        | Some e -> Helpers.contains e "b0"
+        | None -> false)
+  | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+  (* Next batch: the registered walk answers warm. *)
+  let warm =
+    match Daemon.run_lines ~caches [ whatif_wire_line ] with
+    | [ w ] -> w
+    | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+  in
+  Alcotest.(check bool) "warm verdict feasible" true
+    (warm.Response.verdict = Response.Feasible);
+  Alcotest.(check bool) "registry hit recorded" true
+    (Daemon.registry_hits caches >= 1);
+  (match warm.Response.telemetry with
+  | Some { Response.reuse = Some r; _ } ->
+      Alcotest.(check string) "reuse block tagged with the delta class"
+        "deadline-scale" r.Ftes_whatif.Reuse.delta_class
+  | Some { Response.reuse = None; _ } ->
+      Alcotest.fail "warm response without a reuse block"
+  | None -> Alcotest.fail "daemon response without telemetry");
+  (* The warm payload is byte-identical (modulo subject spelling) to a
+     cold optimize of the perturbed problem. *)
+  let perturbed =
+    ok_exn
+      (Delta.apply
+         (ok_exn (Request.problem_of_example "fig1"))
+         (Delta.Deadline_scale 0.95))
+  in
+  let cold =
+    one_shot
+      (ok_exn (Request.make ~id:"w1" Request.Optimize (`Problem perturbed)))
+  in
+  Alcotest.(check string) "warm == cold perturbed payload"
+    (payload_sans_subject cold) (payload_sans_subject warm);
+  (* And to a one-shot what-if (no base_id: base computed in-request). *)
+  let oneshot_warm =
+    one_shot
+      (ok_exn
+         (Request.make ~id:"w1"
+            ~whatif:{ Request.base_id = None; delta = Delta.Deadline_scale 0.95 }
+            Request.Optimize (`Example "fig1")))
+  in
+  Alcotest.(check string) "base_id warm == one-shot warm payload"
+    (payload_sans_subject oneshot_warm)
+    (payload_sans_subject warm)
+
+let test_whatif_daemon_rejects () =
+  (* Unknown base in a fresh resident session: a structured error
+     naming the id, counted as a registry miss. *)
+  let caches = Daemon.create_caches () in
+  (match Daemon.run_lines ~caches [ whatif_wire_line ] with
+  | [ w ] ->
+      Alcotest.(check bool) "unknown base fails" true
+        (w.Response.verdict = Response.Failed);
+      Alcotest.(check bool) "error mentions the base id" true
+        (match w.Response.error with
+        | Some e -> Helpers.contains e "b0"
+        | None -> false)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  Alcotest.(check bool) "lookup counted as a registry miss" true
+    (Daemon.registry_misses caches >= 1);
+  (* A cache-less batch has no registry at all: still structured. *)
+  (match Daemon.run_lines [ whatif_wire_line ] with
+  | [ w ] ->
+      Alcotest.(check bool) "no-registry batch fails" true
+        (w.Response.verdict = Response.Failed);
+      Alcotest.(check bool) "error explains the missing registry" true
+        (match w.Response.error with
+        | Some e -> Helpers.contains e "resident"
+        | None -> false)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+  (* Without a resident session there is no base resolver at all. *)
+  match Request.of_string whatif_wire_line with
+  | Ok _ -> Alcotest.fail "base_id parsed without a resolver"
+  | Error e ->
+      Alcotest.(check bool) "error explains the missing resolver" true
+        (Helpers.contains e "resident")
+
 (* The daemon's own self-test must agree with the rules it audits. *)
 let test_daemon_audit () =
   let responses, report = Daemon.audit () in
-  Alcotest.(check int) "audit stream size" 4 (List.length responses);
+  Alcotest.(check int) "audit stream size" 5 (List.length responses);
   if not (Report.ok report) then
     Alcotest.failf "audit rejected:\n%s" (Report.to_text report)
 
@@ -472,10 +609,16 @@ let () =
             test_response_roundtrip;
           Alcotest.test_case "golden cc requests are current" `Quick
             test_golden_requests_current;
-          Alcotest.test_case "golden cc stream" `Quick test_golden_cc ] );
+          Alcotest.test_case "golden cc stream" `Quick test_golden_cc;
+          Alcotest.test_case "unknown optional fields are served" `Quick
+            test_unknown_field_forward_compat ] );
       ( "caches",
         [ Alcotest.test_case "warm cache is invisible to payload bytes" `Quick
-            test_warm_cache_fingerprints ] );
+            test_warm_cache_fingerprints;
+          Alcotest.test_case "base_id warm start through the registry" `Quick
+            test_whatif_daemon_warm;
+          Alcotest.test_case "what-if rejections are structured" `Quick
+            test_whatif_daemon_rejects ] );
       ( "rules",
         [ Alcotest.test_case "clean stream accepted" `Quick
             test_rules_accept_clean_stream;
