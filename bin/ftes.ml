@@ -987,12 +987,7 @@ module Objective = Ftes_pareto.Objective
 module Frontier_io = Ftes_pareto.Frontier_io
 
 let write_text_file path text =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc text;
-      output_char oc '\n')
+  Ftes_util.Atomic_file.write_string path (text ^ "\n")
 
 let run_pareto obs target format eps objectives csv_path json_path ref_cost =
   Driver.with_problem obs target (fun problem config ->
@@ -1161,6 +1156,358 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Write a built-in problem instance as JSON")
     Term.(term_result term)
 
+(* campaign *)
+
+module Manifest = Ftes_campaign.Manifest
+module Campaign_checkpoint = Ftes_campaign.Checkpoint
+module Runner = Ftes_campaign.Runner
+module Merge = Ftes_campaign.Merge
+
+let ( let* ) = Result.bind
+
+let dir_term =
+  Arg.(required
+       & opt (some string) None
+       & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Campaign directory.")
+
+let read_json_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string text with
+  | Ok json -> Ok json
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let policy_of_cli = function
+  | "opt" | "OPT" -> Ok Config.Optimize
+  | "min" | "MIN" -> Ok Config.Fixed_min
+  | "max" | "MAX" -> Ok Config.Fixed_max
+  | name -> fail "unknown hardening policy %S (use min, max or opt)" name
+
+let split_list text = String.split_on_char ',' (String.trim text)
+
+let floats_of_cli label text =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match float_of_string_opt (String.trim part) with
+        | Some v -> build (v :: acc) rest
+        | None -> fail "bad %s value %S" label part)
+  in
+  build [] (split_list text)
+
+let policies_of_cli text =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match policy_of_cli (String.trim part) with
+        | Ok p -> build (p :: acc) rest
+        | Error e -> Error e)
+  in
+  build [] (split_list text)
+
+let shard_progress (c : Campaign_checkpoint.t) n_cells =
+  Printf.sprintf "%d/%d cells" (List.length c.Campaign_checkpoint.cells) n_cells
+
+let print_campaign_summary (s : Runner.summary) =
+  Printf.printf
+    "campaign: %d shards — %d already complete, %d executed (%d resumed), \
+     %d failed\n"
+    s.Runner.shards s.Runner.skipped s.Runner.executed s.Runner.resumed
+    (List.length s.Runner.failed)
+
+let drive_campaign ~manifest ~dir ~jobs =
+  let on_progress ~completed ~total ~eta_s =
+    match eta_s with
+    | Some eta ->
+        Printf.printf "campaign: %d/%d shards complete (ETA %.0f s)\n%!"
+          completed total eta
+    | None -> Printf.printf "campaign: %d/%d shards complete\n%!" completed total
+  in
+  let summary =
+    Runner.run_processes ~jobs ~on_progress ~exe:Sys.executable_name ~manifest
+      ~dir ()
+  in
+  print_campaign_summary summary;
+  match summary.Runner.failed with
+  | [] -> Ok ()
+  | failed ->
+      fail "%s"
+        (String.concat "; "
+           (List.map
+              (fun (shard, reason) ->
+                Printf.sprintf "shard %d: %s" shard reason)
+              failed))
+
+let run_campaign_run obs dir apps shards jobs sers hpds policies eps =
+  Driver.with_observability obs (fun () ->
+      match
+        let* sers = floats_of_cli "SER" sers in
+        let* hpds = floats_of_cli "HPD" hpds in
+        let* policies = policies_of_cli policies in
+        Ok (sers, hpds, policies)
+      with
+      | Error e -> Error e
+      | Ok (sers, hpds, policies) ->
+          if Sys.file_exists (Manifest.path ~dir) then
+            fail "%s already holds a campaign; use resume" dir
+          else begin
+            (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+            match
+              Manifest.make ~sers ~hpds ~policies ~eps ~apps
+                ~seed:obs.Driver.seed ~shards ()
+            with
+            | exception Invalid_argument msg -> fail "%s" msg
+            | manifest ->
+                Manifest.save ~dir manifest;
+                Printf.printf "campaign %s: %d apps, %d shards, %d cells \
+                               (manifest %s)\n%!"
+                  dir apps shards (Manifest.n_cells manifest)
+                  (Manifest.fingerprint manifest);
+                drive_campaign ~manifest ~dir ~jobs
+          end)
+
+let run_campaign_resume obs dir jobs =
+  Driver.with_observability obs (fun () ->
+      match Manifest.load ~dir with
+      | Error e -> fail "%s" e
+      | Ok manifest -> drive_campaign ~manifest ~dir ~jobs)
+
+let run_campaign_status obs dir =
+  Driver.with_observability obs (fun () ->
+      match Manifest.load ~dir with
+      | Error e -> fail "%s" e
+      | Ok manifest ->
+          let n_cells = Manifest.n_cells manifest in
+          let states = Runner.scan ~manifest ~dir in
+          let complete = ref 0 in
+          Printf.printf "campaign %s: %d apps, %d shards, %d cells, \
+                         manifest %s\n"
+            dir manifest.Manifest.apps manifest.Manifest.shards n_cells
+            (Manifest.fingerprint manifest);
+          Array.iteri
+            (fun shard state ->
+              let lo, hi = Manifest.shard_range manifest shard in
+              let status =
+                match state with
+                | Runner.Complete c ->
+                    incr complete;
+                    "complete (" ^ shard_progress c n_cells ^ ")"
+                | Runner.Partial c -> "partial (" ^ shard_progress c n_cells ^ ")"
+                | Runner.Missing -> "missing"
+                | Runner.Corrupt e -> "corrupt: " ^ e
+              in
+              Printf.printf "  shard %d [%d, %d): %s\n" shard lo hi status)
+            states;
+          Printf.printf "%d/%d shards complete; merged.json %s\n" !complete
+            (Array.length states)
+            (if Sys.file_exists (Filename.concat dir Merge.filename) then
+               "present"
+             else "absent");
+          Ok ())
+
+(* Self-certification of a merge: re-read every document from disk and
+   run the campaign/* rules over the raw JSON, so what is certified is
+   what a later consumer will actually parse. *)
+let certify_merge ~dir ~manifest =
+  let* manifest_doc = read_json_file (Manifest.path ~dir) in
+  let* checkpoints =
+    List.fold_left
+      (fun acc shard ->
+        let* acc = acc in
+        let path = Campaign_checkpoint.path ~dir shard in
+        let* doc = read_json_file path in
+        Ok ((Filename.basename path, doc) :: acc))
+      (Ok [])
+      (List.init manifest.Manifest.shards Fun.id)
+  in
+  let* merged_doc = read_json_file (Filename.concat dir Merge.filename) in
+  let* problem = Driver.problem_of_example "fig1" in
+  let subject =
+    Subject.with_campaign ~merged:merged_doc
+      (Subject.of_problem problem)
+      ~manifest:manifest_doc
+      ~checkpoints:(List.rev checkpoints)
+  in
+  let rules =
+    List.filter
+      (fun r -> String.length r.Ftes_verify.Rule.id >= 9
+                && String.sub r.Ftes_verify.Rule.id 0 9 = "campaign/")
+      Verify.registry
+  in
+  Ok (Verify.run ~rules subject)
+
+let run_campaign_merge obs dir =
+  Driver.with_observability obs (fun () ->
+      match Manifest.load ~dir with
+      | Error e -> fail "%s" e
+      | Ok manifest -> (
+          let checkpoints =
+            List.fold_left
+              (fun acc shard ->
+                let* acc = acc in
+                let* c = Campaign_checkpoint.load ~manifest ~dir shard in
+                Ok (c :: acc))
+              (Ok [])
+              (List.init manifest.Manifest.shards Fun.id)
+          in
+          match
+            Result.bind checkpoints (fun cs ->
+                Merge.of_checkpoints ~manifest (List.rev cs))
+          with
+          | Error e -> fail "%s" e
+          | Ok merged -> (
+              Merge.save ~dir merged;
+              Printf.printf "merged %d cells over %d applications — \
+                             fingerprint %s\n"
+                (List.length merged.Merge.cells) manifest.Manifest.apps
+                (Merge.fingerprint merged);
+              Printf.printf "wrote %s\n" (Filename.concat dir Merge.filename);
+              match certify_merge ~dir ~manifest with
+              | Error e -> fail "%s" e
+              | Ok report ->
+                  print_string (Report.to_text report);
+                  if not (Report.ok report) then
+                    Driver.request_exit Driver.Lint_failure;
+                  Ok ())))
+
+(* The deliberate mid-run kill of the resume tests: exit abruptly,
+   bypassing every finalizer, exactly like a real kill — the checkpoint
+   written before [on_cell] fired is what resume finds. *)
+let kill_plan () =
+  match Sys.getenv_opt "FTES_CAMPAIGN_KILL_AFTER" with
+  | None -> None
+  | Some n -> (
+      match int_of_string_opt n with
+      | None -> None
+      | Some after ->
+          let shard =
+            Option.bind
+              (Sys.getenv_opt "FTES_CAMPAIGN_KILL_SHARD")
+              int_of_string_opt
+          in
+          Some (after, shard))
+
+let run_campaign_worker obs dir shard =
+  Driver.with_observability obs (fun () ->
+      match Manifest.load ~dir with
+      | Error e -> fail "%s" e
+      | Ok manifest ->
+          let fresh = ref 0 in
+          let on_cell ~cell_index:_ ~n_cells:_ =
+            incr fresh;
+            match kill_plan () with
+            | Some (after, target)
+              when !fresh >= after
+                   && (target = None || target = Some shard) ->
+                Stdlib.exit 130
+            | _ -> ()
+          in
+          (match Runner.run_shard ~on_cell ~manifest ~dir shard with
+          | Error e -> fail "%s" e
+          | Ok outcome ->
+              Printf.printf "shard %d: %d fresh cells%s\n" shard
+                outcome.Runner.fresh_cells
+                (if outcome.Runner.resumed then " (resumed)" else "");
+              Ok ()))
+
+let campaign_cmd =
+  let jobs_term =
+    Arg.(value & opt int 2
+         & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Maximum concurrent worker processes.")
+  in
+  let run_cmd =
+    let apps =
+      Arg.(value & opt int 24 & info [ "apps" ] ~docv:"N"
+           ~doc:"Population size (first half 20-process, second half \
+                 40-process applications).")
+    in
+    let shards =
+      Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+           ~doc:"Number of disjoint application-range shards.")
+    in
+    let sers =
+      Arg.(value & opt string "1e-11" & info [ "sers" ] ~docv:"LIST"
+           ~doc:"Comma-separated SER grid axis.")
+    in
+    let hpds =
+      Arg.(value & opt string "0.25" & info [ "hpds" ] ~docv:"LIST"
+           ~doc:"Comma-separated HPD grid axis.")
+    in
+    let policies =
+      Arg.(value & opt string "min,opt" & info [ "policies" ] ~docv:"LIST"
+           ~doc:"Comma-separated hardening policies among $(b,min), \
+                 $(b,max), $(b,opt).")
+    in
+    let eps =
+      Arg.(value & opt float 0.0 & info [ "eps" ] ~docv:"EPS"
+           ~doc:"Frontier archive resolution; 0 keeps the exact frontier.")
+    in
+    let term =
+      Term.(
+        const run_campaign_run $ Driver.obs_term $ dir_term $ apps $ shards
+        $ jobs_term $ sers $ hpds $ policies $ eps)
+    in
+    Cmd.v
+      (Cmd.info "run" ~doc:"Create a campaign and run every shard")
+      Term.(term_result term)
+  in
+  let resume_cmd =
+    let term =
+      Term.(const run_campaign_resume $ Driver.obs_term $ dir_term $ jobs_term)
+    in
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:"Re-run only the incomplete shards of an existing campaign")
+      Term.(term_result term)
+  in
+  let status_cmd =
+    let term = Term.(const run_campaign_status $ Driver.obs_term $ dir_term) in
+    Cmd.v
+      (Cmd.info "status" ~doc:"Show per-shard checkpoint state")
+      Term.(term_result term)
+  in
+  let merge_cmd =
+    let term = Term.(const run_campaign_merge $ Driver.obs_term $ dir_term) in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:"Merge completed shards and certify with the campaign/* rules")
+      Term.(term_result term)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Sharded, checkpointed, resumable exploration campaigns"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "A campaign partitions the Section 7 synthetic population \
+               into disjoint application-range shards, fans them out to \
+               worker processes ($(b,ftes campaign-worker)), and streams \
+               per-cell results into atomically-written per-shard \
+               checkpoint files.  A killed campaign is resumed with \
+               $(b,ftes campaign resume), which re-runs only the \
+               incomplete shards; $(b,merge) then combines the \
+               checkpoints into $(b,merged.json) — bit-identical to a \
+               sequential run of the same manifest — and certifies the \
+               result with the verifier's $(b,campaign/*) rules." ])
+    [ run_cmd; resume_cmd; status_cmd; merge_cmd ]
+
+let campaign_worker_cmd =
+  let shard =
+    Arg.(required & opt (some int) None
+         & info [ "shard" ] ~docv:"N" ~doc:"Shard index to compute.")
+  in
+  let term =
+    Term.(const run_campaign_worker $ Driver.obs_term $ dir_term $ shard)
+  in
+  Cmd.v
+    (Cmd.info "campaign-worker"
+       ~doc:"(internal) compute one campaign shard in this process")
+    Term.(term_result term)
+
 let () =
   let doc =
     "design optimization of fault-tolerant embedded systems with hardened \
@@ -1174,4 +1521,4 @@ let () =
              [ optimize_cmd; analyze_cmd; pareto_cmd; whatif_cmd; serve_cmd;
                generate_cmd; simulate_cmd; experiment_cmd; profile_cmd;
                export_cmd; worst_case_cmd; checkpoint_cmd; lint_cmd;
-               exact_cmd ])))
+               exact_cmd; campaign_cmd; campaign_worker_cmd ])))

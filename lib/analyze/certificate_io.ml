@@ -219,12 +219,7 @@ let of_string ?on_warning s =
   Result.bind (Json.of_string s) (of_json ?on_warning)
 
 let save path c =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string c);
-      output_char oc '\n')
+  Ftes_util.Atomic_file.write_string path (to_string c ^ "\n")
 
 let load ?on_warning path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -1,0 +1,192 @@
+module Json = Ftes_util.Json
+module Workload = Ftes_gen.Workload
+module Config = Ftes_core.Config
+open Json
+
+let schema_version = 1
+
+let filename = "manifest.json"
+
+type t = {
+  params : Workload.params;
+  apps : int;
+  seed : int;
+  shards : int;
+  sers : float list;
+  hpds : float list;
+  policies : Config.hardening_policy list;
+  eps : float;
+}
+
+let validate t =
+  if t.apps < 1 then invalid_arg "Manifest.make: apps must be >= 1";
+  if t.shards < 1 || t.shards > t.apps then
+    invalid_arg "Manifest.make: shards must be within [1, apps]";
+  let finite label vs =
+    if vs = [] then invalid_arg ("Manifest.make: empty " ^ label ^ " axis");
+    List.iter
+      (fun v ->
+        if not (Float.is_finite v) then
+          invalid_arg ("Manifest.make: non-finite " ^ label ^ " value"))
+      vs
+  in
+  finite "SER" t.sers;
+  finite "HPD" t.hpds;
+  if t.policies = [] then invalid_arg "Manifest.make: empty policy axis";
+  if not (Float.is_finite t.eps) || t.eps < 0.0 then
+    invalid_arg "Manifest.make: eps must be finite and non-negative"
+
+let make ?(params = Workload.default_params) ?(sers = [ 1e-11 ])
+    ?(hpds = [ 0.25 ]) ?(policies = [ Config.Fixed_min; Config.Optimize ])
+    ?(eps = 0.0) ~apps ~seed ~shards () =
+  let t = { params; apps; seed; shards; sers; hpds; policies; eps } in
+  validate t;
+  t
+
+let cells t =
+  List.concat_map
+    (fun ser ->
+      List.concat_map
+        (fun hpd ->
+          List.map
+            (fun policy -> { Ftes_exp.Synthetic.ser; hpd; policy })
+            t.policies)
+        t.hpds)
+    t.sers
+
+let n_cells t =
+  List.length t.sers * List.length t.hpds * List.length t.policies
+
+let shard_range t i =
+  if i < 0 || i >= t.shards then
+    invalid_arg (Printf.sprintf "Manifest.shard_range: shard %d of %d" i t.shards);
+  (i * t.apps / t.shards, (i + 1) * t.apps / t.shards)
+
+let specs_for_shard t i =
+  let lo, hi = shard_range t i in
+  Workload.suite_slice ~params:t.params ~count:t.apps ~seed:t.seed ~lo ~hi ()
+
+let archive_spec t = Ftes_pareto.Archive.spec ~eps:t.eps ()
+
+let pair_json (a, b) = List [ Number a; Number b ]
+
+let params_to_json (p : Workload.params) =
+  Object
+    [ ("n_library", Number (float_of_int p.n_library));
+      ("levels", Number (float_of_int p.levels));
+      ("base_wcet_range", pair_json p.base_wcet_range);
+      ("cost_range", pair_json p.cost_range);
+      ("speed_range", pair_json p.speed_range);
+      ("mu_fraction_range", pair_json p.mu_fraction_range);
+      ("gamma_range", pair_json p.gamma_range);
+      ("deadline_factor_range", pair_json p.deadline_factor_range);
+      ("reduction_factor", Number p.reduction_factor);
+      ("clock_hz", Number p.clock_hz) ]
+
+let to_json t =
+  Object
+    [ Ftes_util.Versioned_json.field schema_version;
+      ("apps", Number (float_of_int t.apps));
+      ("seed", Number (float_of_int t.seed));
+      ("shards", Number (float_of_int t.shards));
+      ("sers", List (List.map (fun v -> Number v) t.sers));
+      ("hpds", List (List.map (fun v -> Number v) t.hpds));
+      ( "policies",
+        List (List.map (fun p -> String (Config.policy_name p)) t.policies) );
+      ("eps", Number t.eps);
+      ("params", params_to_json t.params) ]
+
+let policy_of_name = function
+  | "OPT" -> Ok Config.Optimize
+  | "MIN" -> Ok Config.Fixed_min
+  | "MAX" -> Ok Config.Fixed_max
+  | name -> Error (Printf.sprintf "unknown hardening policy %S" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let pair_of_json json =
+  let* items = to_list json in
+  match items with
+  | [ a; b ] ->
+      let* a = to_float a in
+      let* b = to_float b in
+      Ok (a, b)
+  | _ -> Error "expected a [lo, hi] pair"
+
+let params_of_json json =
+  let field name f = Result.bind (member name json) f in
+  let* n_library = field "n_library" to_int in
+  let* levels = field "levels" to_int in
+  let* base_wcet_range = field "base_wcet_range" pair_of_json in
+  let* cost_range = field "cost_range" pair_of_json in
+  let* speed_range = field "speed_range" pair_of_json in
+  let* mu_fraction_range = field "mu_fraction_range" pair_of_json in
+  let* gamma_range = field "gamma_range" pair_of_json in
+  let* deadline_factor_range = field "deadline_factor_range" pair_of_json in
+  let* reduction_factor = field "reduction_factor" to_float in
+  let* clock_hz = field "clock_hz" to_float in
+  Ok
+    {
+      Workload.n_library;
+      levels;
+      base_wcet_range;
+      cost_range;
+      speed_range;
+      mu_fraction_range;
+      gamma_range;
+      deadline_factor_range;
+      reduction_factor;
+      clock_hz;
+    }
+
+let of_json json =
+  let* () =
+    Ftes_util.Versioned_json.check ~what:"campaign manifest" ~accept_v0:false
+      ~current:schema_version json
+  in
+  let* apps = Result.bind (member "apps" json) to_int in
+  let* seed = Result.bind (member "seed" json) to_int in
+  let* shards = Result.bind (member "shards" json) to_int in
+  let floats name =
+    let* items = Result.bind (member name json) to_list in
+    map_result to_float items
+  in
+  let* sers = floats "sers" in
+  let* hpds = floats "hpds" in
+  let* names = Result.bind (member "policies" json) to_list in
+  let* names = map_result to_string_value names in
+  let* policies = map_result policy_of_name names in
+  let* eps = Result.bind (member "eps" json) to_float in
+  let* params = Result.bind (member "params" json) params_of_json in
+  let t = { params; apps; seed; shards; sers; hpds; policies; eps } in
+  match validate t with
+  | () -> Ok t
+  | exception Invalid_argument msg -> Error msg
+
+let fingerprint t = Ftes_util.Fingerprint.of_json (to_json t)
+
+let path ~dir = Filename.concat dir filename
+
+let save ~dir t =
+  Ftes_util.Atomic_file.write_string (path ~dir)
+    (Json.to_string (to_json t) ^ "\n")
+
+let load ~dir =
+  let file = path ~dir in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "%s: no campaign manifest" file)
+  else
+    let ic = open_in_bin file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Result.bind (Json.of_string text) of_json with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)

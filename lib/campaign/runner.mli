@@ -1,0 +1,85 @@
+(** Campaign execution: shard scanning, in-process shard runs and the
+    OS-process fan-out with resume.
+
+    Worker processes re-invoke the [ftes] binary as
+    [ftes campaign-worker --dir DIR --shard N]; each worker loads the
+    manifest, (re)runs its shard through {!run_shard} and exits.  The
+    parent never parses worker output — all state flows through the
+    checkpoint files, which double as the resume protocol: a shard
+    whose checkpoint is already complete is skipped, a valid partial
+    checkpoint is continued from its first missing cell, and a missing
+    or corrupt checkpoint is recomputed from scratch.
+
+    Progress counters (exported in the metrics registry, audited by the
+    [obs/*] verifier rules):
+
+    - [campaign.cells_done] — cells computed (checkpoint-loaded cells
+      are {e not} counted);
+    - [campaign.shards_done] — shards brought to completion; every one
+      computed at least one fresh cell, so
+      [cells_done >= shards_done];
+    - [campaign.shards_resumed] — completed shards that salvaged work
+      from a pre-existing partial checkpoint ([<= shards_done]).
+
+    The process fan-out mirrors its children's completions onto the
+    same counters (the workers' registries die with them), preserving
+    the same invariants at every snapshot. *)
+
+type shard_state =
+  | Complete of Checkpoint.t
+  | Partial of Checkpoint.t  (** valid prefix, not complete. *)
+  | Missing
+  | Corrupt of string  (** file exists but fails validation. *)
+
+val scan : manifest:Manifest.t -> dir:string -> shard_state array
+(** Classify every shard's checkpoint file. *)
+
+type shard_outcome = {
+  checkpoint : Checkpoint.t;  (** complete. *)
+  resumed : bool;
+      (** completed from a pre-existing partial checkpoint. *)
+  fresh_cells : int;  (** cells computed by this call ([0] = skipped). *)
+}
+
+val run_shard :
+  ?on_cell:(cell_index:int -> n_cells:int -> unit) ->
+  manifest:Manifest.t ->
+  dir:string ->
+  int ->
+  (shard_outcome, string) result
+(** Bring one shard to completion in-process.  Each computed cell is
+    appended to the checkpoint and atomically saved {e before}
+    [on_cell] fires (so a kill inside the callback loses nothing).
+    An already-complete checkpoint returns immediately with
+    [fresh_cells = 0] and touches no counter. *)
+
+type summary = {
+  shards : int;
+  skipped : int;  (** already complete when the run started. *)
+  executed : int;  (** brought to completion by this run. *)
+  resumed : int;  (** of [executed]: continued a partial checkpoint. *)
+  failed : (int * string) list;  (** shard, reason. *)
+}
+
+val run_local :
+  ?on_cell:(shard:int -> cell_index:int -> n_cells:int -> unit) ->
+  manifest:Manifest.t ->
+  dir:string ->
+  unit ->
+  summary
+(** Run every incomplete shard sequentially in-process. *)
+
+val run_processes :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> total:int -> eta_s:float option -> unit) ->
+  exe:string ->
+  manifest:Manifest.t ->
+  dir:string ->
+  unit ->
+  summary
+(** Fan incomplete shards out to at most [jobs] (default 1) concurrent
+    worker processes.  [on_progress] fires after every shard
+    completion with an ETA extrapolated from the elapsed wall time.  A
+    worker that exits non-zero (or dies on a signal) marks its shard
+    [failed]; exit code 130 — the deliberate mid-run kill of the
+    resume tests — is reported as ["interrupted"]. *)

@@ -8,6 +8,7 @@ type cell_key = { ser : float; hpd : float; policy : Config.hardening_policy }
 type cell_run = {
   key : cell_key;
   costs : float option array;
+  points : (int * Ftes_pareto.Archive.point) list;
   elapsed_s : float;
 }
 
@@ -17,7 +18,7 @@ let run_cell ?pool ?params ?(config = Config.default) ?(analyze = false)
   let config = Config.with_hardening key.policy config in
   let cell = { Workload.ser = key.ser; hpd = key.hpd } in
   let t0 = Sys.time () in
-  let costs =
+  let solutions =
     specs
     |> Ftes_par.Pool.map ?pool (fun spec ->
            let problem = Workload.problem_of_spec ?params cell spec in
@@ -30,12 +31,29 @@ let run_cell ?pool ?params ?(config = Config.default) ?(analyze = false)
                     ~slack:config.Config.slack problem)
              else None
            in
-           Design_strategy.run ?pool ?preflight ~config problem
-           |> Option.map (fun (s : Design_strategy.solution) ->
-                  s.Design_strategy.result.Redundancy_opt.cost))
+           let solution = Design_strategy.run ?pool ?preflight ~config problem in
+           ( spec.Workload.index,
+             Option.map
+               (fun (s : Design_strategy.solution) ->
+                 let r = s.Design_strategy.result in
+                 ( r.Redundancy_opt.cost,
+                   { Ftes_pareto.Archive.design = r.Redundancy_opt.design;
+                     cost = r.Redundancy_opt.cost;
+                     slack = r.Redundancy_opt.slack;
+                     margin = r.Redundancy_opt.margin } ))
+               solution ))
+  in
+  let costs =
+    solutions
+    |> List.map (fun (_, v) -> Option.map fst v)
     |> Array.of_list
   in
-  { key; costs; elapsed_s = Sys.time () -. t0 }
+  let points =
+    List.filter_map
+      (fun (index, v) -> Option.map (fun (_, p) -> (index, p)) v)
+      solutions
+  in
+  { key; costs; points; elapsed_s = Sys.time () -. t0 }
 
 let percentage hits total =
   if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total

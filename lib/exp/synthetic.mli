@@ -21,6 +21,13 @@ type cell_run = {
   costs : float option array;
       (** per application: best architecture cost, or [None] when the
           strategy found no schedulable & reliable solution. *)
+  points : (int * Ftes_pareto.Archive.point) list;
+      (** one frontier point (cost / slack / margin plus the design) per
+          feasible application, tagged with the application's absolute
+          suite index — the raw material for campaign frontier merges.
+          Like [costs], a pure per-application function: the list for a
+          population slice is exactly the corresponding sub-list of the
+          full population's. *)
   elapsed_s : float;
 }
 

@@ -115,7 +115,22 @@ let generate_spec ?(params = default_params) ~seed ~index ~n_processes () =
   let deadline_ms = anchor *. Prng.float_in prng lo_d hi_d in
   { spec with deadline_ms }
 
+(* The population rule: the first half of the suite gets 20 processes,
+   the second half 40.  It depends only on (index, count), and
+   generate_spec depends only on (seed, index, n_processes), so any
+   slice of the suite is generated exactly as it would be inside the
+   full population — the property campaign sharding relies on. *)
+let suite_processes ~count index = if index < count / 2 then 20 else 40
+
+let suite_slice ?(params = default_params) ~count ~seed ~lo ~hi () =
+  if lo < 0 || hi < lo || hi > count then
+    invalid_arg
+      (Printf.sprintf "Workload.suite_slice: bad range [%d, %d) of %d" lo hi
+         count);
+  List.init (hi - lo) (fun i ->
+      let index = lo + i in
+      generate_spec ~params ~seed ~index
+        ~n_processes:(suite_processes ~count index) ())
+
 let paper_suite ?(params = default_params) ?(count = 150) ~seed () =
-  List.init count (fun index ->
-      let n_processes = if index < count / 2 then 20 else 40 in
-      generate_spec ~params ~seed ~index ~n_processes ())
+  suite_slice ~params ~count ~seed ~lo:0 ~hi:count ()

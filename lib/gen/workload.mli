@@ -56,6 +56,20 @@ val problem_of_spec :
   ?params:params -> cell -> app_spec -> Ftes_model.Problem.t
 (** Expand a spec into the full problem tables for one cell. *)
 
+val suite_processes : count:int -> int -> int
+(** Process count of application [index] in a [count]-app suite (the
+    first half gets 20, the second 40). *)
+
+val suite_slice :
+  ?params:params -> count:int -> seed:int -> lo:int -> hi:int -> unit ->
+  app_spec list
+(** Applications [lo..hi-1] of the [count]-app suite, bit-identical to
+    the corresponding slice of {!paper_suite} — each spec depends only
+    on [(seed, index, count)], never on its neighbours, so a sharded
+    campaign can generate exactly its own applications.  Raises
+    [Invalid_argument] on a range outside [\[0, count\]]. *)
+
 val paper_suite : ?params:params -> ?count:int -> seed:int -> unit -> app_spec list
 (** The experiment population: [count] applications (default 150), the
-    first half with 20 processes and the second half with 40. *)
+    first half with 20 processes and the second half with 40.
+    Equals [suite_slice ~lo:0 ~hi:count]. *)

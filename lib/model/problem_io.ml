@@ -124,12 +124,7 @@ let of_string ?on_warning text =
   of_json ?on_warning json
 
 let save path problem =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string problem);
-      output_char oc '\n')
+  Ftes_util.Atomic_file.write_string path (to_string problem ^ "\n")
 
 let load ?on_warning path =
   match

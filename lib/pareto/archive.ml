@@ -15,6 +15,8 @@ let c_dominated = Ftes_obs.Metrics.counter "pareto.dominated"
 
 let c_evicted = Ftes_obs.Metrics.counter "pareto.evicted"
 
+let c_merge_points = Ftes_obs.Metrics.counter "pareto.merge_points"
+
 let g_hypervolume = Ftes_obs.Metrics.gauge "pareto.hypervolume"
 
 let validate_spec { objectives; eps } =
@@ -175,9 +177,11 @@ let min_cost_point t =
 let merge a b =
   if a.spec <> b.spec then invalid_arg "Archive.merge: spec mismatch";
   Ftes_obs.Span.with_ ~name:"pareto/merge" (fun () ->
+      let pa = points a and pb = points b in
+      Ftes_obs.Metrics.add c_merge_points (List.length pa + List.length pb);
       let t = create ~spec:a.spec () in
-      List.iter (insert t) (points a);
-      List.iter (insert t) (points b);
+      List.iter (insert t) pa;
+      List.iter (insert t) pb;
       t)
 
 let equal a b = a.spec = b.spec && points a = points b

@@ -69,7 +69,11 @@ val min_cost_point : t -> point option
 val merge : t -> t -> t
 (** Combine two archives over the same spec into a fresh one; equals
     inserting both point sets into an empty archive, in any order.
-    Raises [Invalid_argument] on a spec mismatch. *)
+    Raises [Invalid_argument] on a spec mismatch.  Every point offered
+    during a merge is counted on the [pareto.merge_points] counter
+    (and then classified as [pareto.inserted] or [pareto.dominated]
+    like any insert, so [merge_points <= inserted + dominated] — an
+    [obs/*] verifier rule audits this). *)
 
 val equal : t -> t -> bool
 (** Same spec and bit-identical frontier (costs, slacks, margins and

@@ -94,7 +94,7 @@ let of_csv ?spec ~problem rows =
 let ints_json arr =
   List (Array.to_list (Array.map (fun v -> Number (float_of_int v)) arr))
 
-let point_json (p : Archive.point) =
+let point_to_json (p : Archive.point) =
   Object
     [ ("cost", Number p.Archive.cost);
       ("slack_ms", Number p.Archive.slack);
@@ -129,7 +129,7 @@ let to_json ?reference archive =
        ("eps", Number spec.Archive.eps);
        ("size", Number (float_of_int (List.length pts))) ]
     @ progress
-    @ [ ("points", List (List.map point_json pts)) ])
+    @ [ ("points", List (List.map point_to_json pts)) ])
 
 let rec map_result f = function
   | [] -> Ok []

@@ -29,6 +29,21 @@ val of_csv :
     — the CSV carries data only) by re-inserting every row.  Rejects a
     bad header, malformed fields and designs that do not validate. *)
 
+val point_to_json : Archive.point -> Ftes_util.Json.t
+(** One frontier point as a JSON object (the element format of
+    {!to_json}'s ["points"] list) — exported so campaign checkpoints
+    serialize points in the same spelling. *)
+
+val point_of_json :
+  problem:Ftes_model.Problem.t ->
+  row:int ->
+  Ftes_util.Json.t ->
+  (Archive.point, string) result
+(** Inverse of {!point_to_json}; the design is re-validated against
+    [problem] through {!Ftes_model.Design.make}.  Extra fields (a
+    campaign checkpoint adds the application index) are ignored.
+    [row] only labels error messages. *)
+
 val to_json : ?reference:Archive.reference -> Archive.t -> Ftes_util.Json.t
 (** Self-describing document: schema version, objective names, [eps],
     frontier size and points; when [reference] is given, also the

@@ -20,10 +20,7 @@ let to_string rows =
   String.concat "" (List.map (fun r -> row_to_string r ^ "\n") rows)
 
 let write_file path rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string rows))
+  Atomic_file.write_string path (to_string rows)
 
 let of_string s =
   let n = String.length s in

@@ -1,0 +1,17 @@
+(** Stable content fingerprints.
+
+    64-bit FNV-1a over the raw bytes, rendered as 16 lowercase hex
+    digits.  Used wherever two processes must agree on "is this the
+    same document?" without sharing memory — campaign checkpoints
+    record the fingerprint of the manifest they were computed under,
+    and the verifier recomputes it from the manifest bytes alone.  Not
+    cryptographic; it guards against mixups and torn state, not
+    adversaries. *)
+
+val of_string : string -> string
+(** Fingerprint of the exact byte sequence. *)
+
+val of_json : Json.t -> string
+(** [of_string] of the canonical (minified) rendering — the same value
+    whether the document was just built or parsed back from disk,
+    because the JSON printer round-trips numbers exactly. *)

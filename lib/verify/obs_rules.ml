@@ -149,6 +149,61 @@ let check_span_aggregates subject =
                 else []))
     m.Metrics.histograms
 
+(* obs/pareto-merge: every point offered during an archive merge is
+   counted once on pareto.merge_points and then classified by the
+   insert path as inserted or dominated — and inserts happen outside
+   merges too, so merge_points <= inserted + dominated. *)
+let check_pareto_merge subject =
+  let rule = "obs/pareto-merge" in
+  let m = metrics_exn subject in
+  match find "pareto.merge_points" m.Metrics.counters with
+  | None -> []
+  | Some merge_points ->
+      let inserted =
+        Option.value ~default:0 (find "pareto.inserted" m.Metrics.counters)
+      in
+      let dominated =
+        Option.value ~default:0 (find "pareto.dominated" m.Metrics.counters)
+      in
+      if merge_points > inserted + dominated then
+        [ D.error ~rule
+            "%d points offered through merges, but only %d inserts were \
+             classified (%d inserted + %d dominated)"
+            merge_points (inserted + dominated) inserted dominated ]
+      else []
+
+(* obs/campaign-progress: a shard is counted done only after computing
+   at least one fresh cell (cells_done >= shards_done), and only a
+   completed shard can have been resumed (shards_resumed <=
+   shards_done). *)
+let check_campaign_progress subject =
+  let rule = "obs/campaign-progress" in
+  let m = metrics_exn subject in
+  let value name = find name m.Metrics.counters in
+  match
+    ( value "campaign.cells_done",
+      value "campaign.shards_done",
+      value "campaign.shards_resumed" )
+  with
+  | None, None, None -> []
+  | cells, shards, resumed ->
+      let cells = Option.value ~default:0 cells in
+      let shards = Option.value ~default:0 shards in
+      let resumed = Option.value ~default:0 resumed in
+      List.concat
+        [ (if shards > cells then
+             [ D.error ~rule
+                 "%d shards done but only %d cells computed — a shard \
+                  completed without computing a fresh cell"
+                 shards cells ]
+           else []);
+          (if resumed > shards then
+             [ D.error ~rule
+                 "%d shards resumed but only %d completed — a resume was \
+                  counted before its shard finished"
+                 resumed shards ]
+           else []) ]
+
 let all =
   [ Rule.make ~id:"obs/counters-monotone"
       ~synopsis:"metrics counters are non-negative" ~requires:Rule.Needs_metrics
@@ -164,4 +219,10 @@ let all =
       ~requires:Rule.Needs_metrics check_histograms;
     Rule.make ~id:"obs/span-aggregates"
       ~synopsis:"span completion counts match their latency histograms"
-      ~requires:Rule.Needs_metrics check_span_aggregates ]
+      ~requires:Rule.Needs_metrics check_span_aggregates;
+    Rule.make ~id:"obs/pareto-merge"
+      ~synopsis:"merge offers are classified archive inserts"
+      ~requires:Rule.Needs_metrics check_pareto_merge;
+    Rule.make ~id:"obs/campaign-progress"
+      ~synopsis:"campaign counters satisfy resumed <= shards <= cells"
+      ~requires:Rule.Needs_metrics check_campaign_progress ]

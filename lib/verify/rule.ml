@@ -8,6 +8,7 @@ type requires =
   | Needs_certificate
   | Needs_bnb_certificate
   | Needs_responses
+  | Needs_campaign
 
 type t = {
   id : string;
@@ -31,3 +32,4 @@ let applicable subject t =
   | Needs_certificate -> subject.Subject.certificate <> None
   | Needs_bnb_certificate -> subject.Subject.bnb_certificate <> None
   | Needs_responses -> subject.Subject.responses <> None
+  | Needs_campaign -> subject.Subject.campaign <> None

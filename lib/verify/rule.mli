@@ -19,6 +19,8 @@ type requires =
   | Needs_responses
       (** skipped unless the subject carries a design-service response
           stream. *)
+  | Needs_campaign
+      (** skipped unless the subject carries campaign documents. *)
 
 type t = {
   id : string;  (** stable identifier, e.g. ["sched/precedence"]. *)

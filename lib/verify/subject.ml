@@ -4,6 +4,12 @@ module Scheduler = Ftes_sched.Scheduler
 module Schedule = Ftes_sched.Schedule
 module Bus = Ftes_sched.Bus
 
+type campaign_docs = {
+  manifest : Ftes_util.Json.t;
+  checkpoints : (string * Ftes_util.Json.t) list;
+  merged : Ftes_util.Json.t option;
+}
+
 type t = {
   problem : Problem.t;
   design : Design.t option;
@@ -17,13 +23,14 @@ type t = {
   certificate : Ftes_analyze.Certificate.t option;
   bnb_certificate : Ftes_analyze.Bnb_certificate.t option;
   responses : Ftes_util.Json.t list option;
+  campaign : campaign_docs option;
 }
 
 let of_problem problem =
   { problem; design = None; schedule = None; slack = Scheduler.Shared;
     bus = Bus.Fcfs; sfp_tables = None; metrics = None; archive = None;
     opt_cost = None; certificate = None; bnb_certificate = None;
-    responses = None }
+    responses = None; campaign = None }
 
 let of_design problem design = { (of_problem problem) with design = Some design }
 
@@ -49,3 +56,6 @@ let with_bnb_certificate t certificate =
   { t with bnb_certificate = Some certificate }
 
 let with_responses t responses = { t with responses = Some responses }
+
+let with_campaign ?merged t ~manifest ~checkpoints =
+  { t with campaign = Some { manifest; checkpoints; merged } }

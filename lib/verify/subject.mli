@@ -6,6 +6,20 @@
     the recovery-slack accounting per policy instead of trusting the
     scheduler's own bookkeeping. *)
 
+type campaign_docs = {
+  manifest : Ftes_util.Json.t;
+  checkpoints : (string * Ftes_util.Json.t) list;
+      (** label (e.g. filename) and parsed document per shard
+          checkpoint. *)
+  merged : Ftes_util.Json.t option;
+}
+(** Raw campaign documents, exactly as read from a campaign directory.
+    Kept as parsed JSON — the [campaign/*] rules audit the on-disk
+    formats themselves (schema, shard partition, fingerprints, merge
+    identities), independent of [Ftes_campaign]'s own decoders, which
+    also keeps the verifier free of a dependency on the optimizer
+    stack. *)
+
 type t = {
   problem : Ftes_model.Problem.t;
   design : Ftes_model.Design.t option;
@@ -43,6 +57,9 @@ type t = {
           per emitted line, in emission order), enabling the [serve/*]
           rules.  Kept as raw JSON — the rules audit the wire format
           itself, independent of the daemon's own decoder. *)
+  campaign : campaign_docs option;
+      (** a campaign's manifest, shard checkpoints and (optionally)
+          merged result, enabling the [campaign/*] rules. *)
 }
 
 val of_problem : Ftes_model.Problem.t -> t
@@ -87,3 +104,13 @@ val with_bnb_certificate : t -> Ftes_analyze.Bnb_certificate.t -> t
 val with_responses : t -> Ftes_util.Json.t list -> t
 (** Attach a design-service response stream (parsed envelopes in
     emission order), enabling the [serve/*] rules. *)
+
+val with_campaign :
+  ?merged:Ftes_util.Json.t ->
+  t ->
+  manifest:Ftes_util.Json.t ->
+  checkpoints:(string * Ftes_util.Json.t) list ->
+  t
+(** Attach a campaign's raw documents, enabling the [campaign/*]
+    rules.  The subject's problem is unused by those rules (any
+    problem, e.g. the one the verifier CLI already loaded, will do). *)

@@ -1,7 +1,7 @@
 let registry =
   Structural_rules.all @ Schedule_rules.all @ Sfp_rules.all @ Obs_rules.all
   @ Pareto_rules.all @ Analyze_rules.all @ Bnb_rules.all @ Serve_rules.all
-  @ Whatif_rules.all
+  @ Whatif_rules.all @ Campaign_rules.all
 
 let () =
   (* A duplicated id would make reports ambiguous; fail fast at link

@@ -265,7 +265,7 @@ let test_obs_rules_skip_without_metrics () =
     Verify.run ~rules:Ftes_verify.Obs_rules.all
       (Subject.of_problem (problem_of_seed 7))
   in
-  Alcotest.(check int) "all obs rules skipped" 5
+  Alcotest.(check int) "all obs rules skipped" 7
     (List.length report.Report.rules_skipped)
 
 (* Mutation tests: each hand-broken snapshot must trip exactly the rule
